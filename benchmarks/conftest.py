@@ -1,0 +1,60 @@
+"""Shared fixtures for the experiment-reproduction benchmarks.
+
+Each ``test_bench_*`` file regenerates one table or figure of the paper:
+it runs the simulation, prints the paper-shaped rows/series, asserts
+the qualitative shape (who wins, orderings, crossovers), and times a
+representative slice of the computation with pytest-benchmark.
+
+Detailed-window size is controlled by ``REPRO_BENCH_WINDOW``
+(instructions per benchmark window; default 40000 — larger windows give
+steadier numbers at higher cost).
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro import SoftWatt
+from repro.workloads import BENCHMARK_NAMES
+
+WINDOW = int(os.environ.get("REPRO_BENCH_WINDOW", "40000"))
+SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
+
+
+@pytest.fixture(scope="session")
+def sw() -> SoftWatt:
+    """The shared MXS SoftWatt instance (profiles cached across benches)."""
+    return SoftWatt(window_instructions=WINDOW, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def sw_mipsy() -> SoftWatt:
+    """A Mipsy-model instance (memory-subsystem statistics, Figure 3)."""
+    return SoftWatt(cpu_model="mipsy", window_instructions=WINDOW // 2, seed=SEED)
+
+
+@pytest.fixture(scope="session")
+def suite_conventional(sw):
+    """All six benchmarks under the conventional disk (Section 3)."""
+    return {name: sw.run(name, disk=1) for name in BENCHMARK_NAMES}
+
+
+@pytest.fixture(scope="session")
+def suite_idle_disk(sw):
+    """All six benchmarks with the IDLE-capable disk (Figure 7)."""
+    return {name: sw.run(name, disk=2) for name in BENCHMARK_NAMES}
+
+
+@pytest.fixture(scope="session")
+def service_profiles(sw):
+    """Per-invocation kernel-service profiles (Table 5 / Figure 8)."""
+    return sw.service_profiles(invocations=60)
+
+
+def print_header(title: str) -> None:
+    print()
+    print("=" * 72)
+    print(title)
+    print("=" * 72)

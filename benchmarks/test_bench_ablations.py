@@ -1,0 +1,133 @@
+"""Ablations of the design choices DESIGN.md §5 calls out.
+
+Not paper experiments — sensitivity studies of the reproduction itself:
+
+* conditional clocking vs an always-on clock,
+* the software-managed TLB (utlb service) vs hardware refill,
+* a spin-down-threshold sweep beyond the paper's {2 s, 4 s},
+* the disk's share as a function of CPU issue width.
+"""
+
+import pytest
+from conftest import WINDOW, print_header
+
+from repro import SoftWatt, SystemConfig
+from repro.config import DiskPowerPolicy
+from repro.kernel import ExecutionMode
+from repro.power import ProcessorPowerModel
+from repro.stats.counters import AccessCounters
+
+
+def test_bench_ablation_conditional_clocking(sw, benchmark):
+    """How much does SoftWatt's conditional clocking model matter?"""
+    result = sw.run("jess", disk=1)
+    counters = result.timeline.log.total_counters()
+    cycles = int(result.timeline.log.total_cycles())
+    model = sw.model
+
+    def both():
+        gated = model.energy_by_category(counters, cycles)["clock"]
+        # Always-on clock: every latch toggles every cycle.
+        ungated = cycles * model.clock.energy_per_cycle_j(gating_factor=1.0)
+        return gated, ungated
+
+    gated, ungated = benchmark(both)
+    print_header("Ablation: conditional clocking (jess)")
+    print(f"  gated clock energy  : {gated:8.2f} J")
+    print(f"  always-on clock     : {ungated:8.2f} J")
+    print(f"  saving              : {(1 - gated / ungated) * 100:5.1f}%")
+    assert gated < ungated
+    assert (1 - gated / ungated) > 0.10
+
+
+def test_bench_ablation_hardware_tlb(benchmark):
+    """Removing the software-managed TLB removes the dominant kernel
+    service: the kernel's cycle share collapses."""
+    soft = SoftWatt(window_instructions=WINDOW, seed=1)
+    hard = SoftWatt(config=SystemConfig.table1().with_hardware_tlb(),
+                    window_instructions=WINDOW, seed=1)
+
+    def run_pair():
+        return soft.run("db", disk=1), hard.run("db", disk=1)
+
+    soft_result, hard_result = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    soft_kernel = soft_result.mode_breakdown()[ExecutionMode.KERNEL].cycles_pct
+    hard_kernel = hard_result.mode_breakdown()[ExecutionMode.KERNEL].cycles_pct
+    print_header("Ablation: software vs hardware TLB refill (db)")
+    print(f"  software-managed kernel share: {soft_kernel:5.1f}%")
+    print(f"  hardware-refill kernel share : {hard_kernel:5.1f}%")
+    assert hard_kernel < soft_kernel * 0.6
+    # utlb vanishes from the service table under hardware refill.
+    hard_services = {row.service for row in hard_result.service_breakdown()
+                     if row.cycles > 1.0}
+    soft_rows = soft_result.service_breakdown()
+    assert soft_rows[0].service == "utlb"
+    assert "utlb" not in hard_services or (
+        hard_result.timeline.label_cycles.get("utlb", 0.0)
+        < 0.05 * soft_result.timeline.label_cycles["utlb"])
+
+
+@pytest.mark.parametrize("threshold_s", [1.0, 2.0, 3.0, 4.0, 6.0, 8.0])
+def test_bench_ablation_spindown_sweep(sw, benchmark, threshold_s):
+    """Sweep the spin-down threshold on compress: thresholds below its
+    ~2.4 s inter-access gaps are pathological; above, harmless."""
+    policy = DiskPowerPolicy(name=f"sweep-{threshold_s}",
+                             spindown_threshold_s=threshold_s)
+
+    def run():
+        return sw.run("compress", disk=policy)
+
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    reference = sw.run("compress", disk=2)
+    print(f"  threshold {threshold_s:4.1f} s: disk {result.disk_energy_j:7.1f} J, "
+          f"spindowns {result.timeline.disk.state.spindowns}, "
+          f"duration {result.timeline.duration_s:6.2f} s")
+    if threshold_s < 2.4:
+        # Below the benchmark's steady gap: spin-down pathology.
+        assert result.timeline.disk.state.spindowns >= 2
+        assert result.disk_energy_j > reference.disk_energy_j
+    if threshold_s > 4.0:
+        # Comfortably above every gap: behaves like configuration 2.
+        assert result.timeline.disk.state.spindowns == 0
+        assert result.disk_energy_j == pytest.approx(
+            reference.disk_energy_j, rel=0.02)
+
+
+def test_bench_ablation_issue_width_power(benchmark):
+    """CPU power scales with issue width; the (fixed-power) conventional
+    disk therefore dominates the narrow machine even more."""
+    wide = SoftWatt(window_instructions=WINDOW, seed=1)
+    narrow = SoftWatt(config=SystemConfig.table1().single_issue(),
+                      window_instructions=WINDOW // 2, seed=1)
+
+    def budgets():
+        return (wide.run("compress", disk=1).power_budget_shares(),
+                narrow.run("compress", disk=1).power_budget_shares())
+
+    wide_shares, narrow_shares = benchmark.pedantic(budgets, rounds=1, iterations=1)
+    print_header("Ablation: disk share vs issue width (compress)")
+    print(f"  4-wide disk share      : {wide_shares['disk']:5.1f}%")
+    print(f"  single-issue disk share: {narrow_shares['disk']:5.1f}%")
+    assert narrow_shares["disk"] > wide_shares["disk"]
+
+
+def test_bench_ablation_clock_gating_sensitivity(sw, benchmark):
+    """The clock share responds to activity: a mostly-idle counter set
+    gates far more of the tree than a saturated one."""
+    model = ProcessorPowerModel(SystemConfig.table1())
+    cycles = 1_000_000
+
+    def clock_powers():
+        quiet = AccessCounters(l1i_access=cycles // 10,
+                               window_dispatch=cycles // 10)
+        busy = model.max_power_counters(cycles)
+        quiet_w = model.average_power_w(quiet, cycles)["clock"]
+        busy_w = model.average_power_w(busy, cycles)["clock"]
+        return quiet_w, busy_w
+
+    quiet_w, busy_w = benchmark(clock_powers)
+    print_header("Ablation: clock power vs activity")
+    print(f"  quiet machine clock: {quiet_w:5.2f} W")
+    print(f"  saturated clock    : {busy_w:5.2f} W")
+    assert quiet_w < busy_w * 0.7
+    assert quiet_w > 0.5  # the spine never gates off

@@ -1,0 +1,94 @@
+"""Figure 2: the MK3003MAN operating-modes state machine.
+
+Regenerates the mode/power table and exercises every legal transition
+path of the state machine, including the energy cost of a full
+IDLE -> STANDBY -> ACTIVE excursion.
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.config import (
+    MK3003MAN_POWER_W,
+    SPINDOWN_TIME_S,
+    SPINUP_TIME_S,
+    DiskMode,
+    disk_configuration,
+)
+from repro.disk import DiskEnergyAccountant, DiskStateMachine, PowerManagedDisk
+
+PAPER_FIGURE2_W = {
+    "Sleep": 0.15,
+    "Idle": 1.6,
+    "Standby": 0.35,
+    "Active": 3.2,
+    "Seeking": 4.1,
+    "Spin up": 4.2,
+}
+
+_MODE_OF_ROW = {
+    "Sleep": DiskMode.SLEEP,
+    "Idle": DiskMode.IDLE,
+    "Standby": DiskMode.STANDBY,
+    "Active": DiskMode.ACTIVE,
+    "Seeking": DiskMode.SEEK,
+    "Spin up": DiskMode.SPINUP,
+}
+
+
+def test_bench_figure2_power_table(benchmark):
+    def build_table():
+        return {row: MK3003MAN_POWER_W[mode] for row, mode in _MODE_OF_ROW.items()}
+
+    table = benchmark(build_table)
+    print_header("Figure 2: MK3003MAN operating modes")
+    print(f"  {'Mode':10s} {'paper (W)':>10s} {'measured (W)':>13s}")
+    for row, paper_w in PAPER_FIGURE2_W.items():
+        print(f"  {row:10s} {paper_w:10.2f} {table[row]:13.2f}")
+    print(f"  spin up / spin down time: {SPINUP_TIME_S:.0f} s / {SPINDOWN_TIME_S:.0f} s")
+    for row, paper_w in PAPER_FIGURE2_W.items():
+        assert table[row] == pytest.approx(paper_w)
+
+
+def test_bench_state_machine_excursion(benchmark):
+    """One full low-power excursion, energy-integrated event-exactly."""
+
+    def excursion():
+        machine = DiskStateMachine(DiskMode.IDLE)
+        accountant = DiskEnergyAccountant()
+        accountant.accrue(DiskMode.IDLE, 2.0)
+        machine.transition(DiskMode.SPINDOWN)
+        accountant.accrue(DiskMode.SPINDOWN, SPINDOWN_TIME_S)
+        machine.transition(DiskMode.STANDBY)
+        accountant.accrue(DiskMode.STANDBY, 10.0)
+        machine.transition(DiskMode.SPINUP)
+        accountant.accrue(DiskMode.SPINUP, SPINUP_TIME_S)
+        machine.transition(DiskMode.ACTIVE)
+        accountant.accrue(DiskMode.ACTIVE, 0.05)
+        return accountant
+
+    accountant = benchmark(excursion)
+    print_header("Figure 2: one spin-down/spin-up excursion")
+    for mode in (DiskMode.IDLE, DiskMode.SPINDOWN, DiskMode.STANDBY,
+                 DiskMode.SPINUP, DiskMode.ACTIVE):
+        print(f"  {mode.value:9s} {accountant.time_in_mode_s[mode]:6.2f} s "
+              f"{accountant.energy_in_mode_j[mode]:7.2f} J")
+    # The spin-up dominates the excursion's energy (5 s at 4.2 W).
+    assert accountant.energy_in_mode_j[DiskMode.SPINUP] == pytest.approx(21.0)
+    assert accountant.energy_in_mode_j[DiskMode.SPINUP] > (
+        accountant.energy_in_mode_j[DiskMode.STANDBY])
+
+
+def test_bench_request_service_path(benchmark):
+    """The IDLE -> SEEK -> ACTIVE -> IDLE request path of Figure 2."""
+
+    def serve():
+        disk = PowerManagedDisk(disk_configuration(2), seed=3)
+        disk.request(0.5, 64 * 1024)
+        return disk
+
+    disk = benchmark(serve)
+    assert disk.state.count(DiskMode.IDLE, DiskMode.SEEK) == 1
+    assert disk.state.count(DiskMode.SEEK, DiskMode.ACTIVE) == 1
+    assert disk.state.count(DiskMode.ACTIVE, DiskMode.IDLE) == 1
+    assert disk.mode is DiskMode.IDLE

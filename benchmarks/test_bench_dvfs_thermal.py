@@ -1,0 +1,73 @@
+"""Benches for the DVFS and thermal post-processing extensions.
+
+Both close loops the paper opens: supply-voltage scaling is the first
+circuit technique Section 1 lists, and Section 3.1 justifies designing
+for *average* power by appeal to dynamic thermal management.
+"""
+
+from conftest import print_header
+
+from repro.power import ThermalModel, sweep
+
+
+def test_bench_dvfs_sweep(sw, suite_idle_disk, benchmark):
+    """Voltage sweep on mtrt: CPU energy falls quadratically, but the
+    wall-clock stretch keeps the disk powered longer — system energy
+    has a minimum, and EDP has its own (higher-voltage) optimum."""
+    result = suite_idle_disk["mtrt"]
+    vdds = [3.3, 3.0, 2.7, 2.4, 2.1, 1.8, 1.5, 1.2]
+
+    evaluations = benchmark(sweep, result, vdds)
+    print_header("Extension: DVFS sweep (mtrt, IDLE-capable disk)")
+    print(f"  {'Vdd V':>6s} {'f MHz':>6s} {'CPU J':>7s} {'disk J':>7s} "
+          f"{'total J':>8s} {'dur s':>6s} {'EDP Js':>8s}")
+    for ev in evaluations:
+        print(f"  {ev.point.vdd:6.1f} {ev.point.clock_hz / 1e6:6.0f} "
+              f"{ev.cpu_energy_j:7.1f} {ev.disk_energy_j:7.1f} "
+              f"{ev.total_energy_j:8.1f} {ev.duration_s:6.1f} "
+              f"{ev.energy_delay_product:8.0f}")
+
+    base = evaluations[0]
+    # CPU energy monotonically falls with voltage.
+    cpu = [ev.cpu_energy_j for ev in evaluations]
+    assert cpu == sorted(cpu, reverse=True)
+    # Disk energy monotonically rises (the platter outlives the CPU win).
+    disk = [ev.disk_energy_j for ev in evaluations]
+    assert disk == sorted(disk)
+    # System energy has an interior minimum: some mid voltage beats both
+    # the top and the bottom of the sweep.
+    totals = [ev.total_energy_j for ev in evaluations]
+    best = min(range(len(totals)), key=totals.__getitem__)
+    assert 0 < best < len(totals) - 1
+    # EDP's optimum sits at a higher voltage than the energy optimum.
+    edps = [ev.energy_delay_product for ev in evaluations]
+    best_edp = min(range(len(edps)), key=edps.__getitem__)
+    assert best_edp <= best
+
+
+def test_bench_thermal_headroom(sw, suite_conventional, benchmark):
+    """The average-power design argument (Section 3.1): every benchmark
+    runs the package far below the DTM trip point, even though the
+    machine's *peak* (validation) power would cook it."""
+    model = ThermalModel()
+
+    def profiles():
+        return {
+            name: model.profile(result.trace)
+            for name, result in suite_conventional.items()
+        }
+
+    thermal = benchmark(profiles)
+    print_header("Extension: package thermals under the suite")
+    print(f"  sustainable power: {model.sustainable_power_w():.1f} W; "
+          f"validation max power: {sw.validate_max_power():.1f} W")
+    print(f"  {'benchmark':10s} {'peak C':>7s} {'margin C':>9s} {'DTM':>5s}")
+    for name, profile in thermal.items():
+        print(f"  {name:10s} {profile.peak_c:7.1f} "
+              f"{profile.steady_state_margin_c:9.1f} "
+              f"{'yes' if profile.dtm_engaged else 'no':>5s}")
+        # Average-power design holds: no benchmark trips the throttle.
+        assert not profile.dtm_engaged, name
+    # But the validation maximum exceeds what the package can sustain:
+    # designing for peak would demand a very different cooling solution.
+    assert sw.validate_max_power() > model.sustainable_power_w()

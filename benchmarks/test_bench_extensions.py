@@ -1,0 +1,97 @@
+"""Benches for the Section 5 extensions (the paper's future work).
+
+* halting the CPU during idle instead of busy-waiting ("This energy
+  consumption can be reduced by transitioning the CPU and the
+  memory-subsystem to a low-power mode or by even halting the
+  processor, instead of executing the idle-process"),
+* an adaptive spin-down threshold (the paper's Section 4 design rule,
+  made self-tuning in the spirit of the adaptive policies it cites).
+"""
+
+import pytest
+from conftest import print_header
+
+from repro.disk import AdaptiveSpinDownDisk, PowerManagedDisk
+from repro.config import disk_configuration
+from repro.kernel import ExecutionMode
+from repro.workloads import BENCHMARK_NAMES, benchmark
+
+
+def test_bench_halt_on_idle(sw, suite_conventional, benchmark):
+    """Quantify the paper's halt-the-idle-process suggestion."""
+
+    def sweep():
+        savings = {}
+        for name in BENCHMARK_NAMES:
+            busy = suite_conventional[name]
+            halted = sw.run(name, disk=1, idle_policy="halt")
+            savings[name] = (busy.total_energy_j, halted.total_energy_j)
+        return savings
+
+    savings = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print_header("Extension: halting the CPU during idle (Section 5)")
+    print(f"  {'benchmark':10s} {'busy-wait J':>12s} {'halted J':>10s} "
+          f"{'saving %':>9s} {'idle cyc %':>11s}")
+    for name in BENCHMARK_NAMES:
+        busy_j, halt_j = savings[name]
+        idle_pct = suite_conventional[name].mode_breakdown()[
+            ExecutionMode.IDLE].cycles_pct
+        saving = (1.0 - halt_j / busy_j) * 100.0
+        print(f"  {name:10s} {busy_j:12.1f} {halt_j:10.1f} {saving:9.1f} "
+              f"{idle_pct:11.1f}")
+        assert halt_j < busy_j, name
+
+    # The paper's >5%-of-system-energy claim applies to the idle-heavy
+    # benchmarks (jess/db, ~10-13% idle); ours land in that band.
+    jess_saving = 1.0 - savings["jess"][1] / savings["jess"][0]
+    db_saving = 1.0 - savings["db"][1] / savings["db"][0]
+    assert jess_saving > 0.03
+    assert db_saving > 0.03
+    # Savings scale with idle share: jess/db save more than mtrt.
+    mtrt_saving = 1.0 - savings["mtrt"][1] / savings["mtrt"][0]
+    assert min(jess_saving, db_saving) > mtrt_saving
+
+
+def test_bench_adaptive_spindown(benchmark):
+    """The adaptive threshold dodges the fixed-2s pathology on a
+    compress-shaped access pattern and keeps spinning down when gaps
+    are genuinely long."""
+    spec = benchmark_spec = __import__(
+        "repro.workloads", fromlist=["benchmark"]).benchmark("compress")
+    steady = [e for e in spec.disk_events if e.progress_s > 1.0]
+    gap = steady[1].progress_s - steady[0].progress_s
+
+    def drive(disk, gap_s, requests):
+        t = 0.0
+        for _ in range(requests):
+            result = disk.request(t, 64 * 1024)
+            t = result.completion_s + gap_s
+        disk.finish(t)
+        return disk
+
+    def run_pair():
+        adaptive = drive(AdaptiveSpinDownDisk(2.0, seed=3), gap, 10)
+        fixed = drive(PowerManagedDisk(disk_configuration(3), seed=3), gap, 10)
+        return adaptive, fixed
+
+    adaptive, fixed = benchmark.pedantic(run_pair, rounds=1, iterations=1)
+    print_header("Extension: adaptive spin-down threshold")
+    print(f"  compress-shaped gaps of {gap:.1f} s, 10 requests:")
+    print(f"    fixed 2 s   : {fixed.energy.energy_j:6.1f} J, "
+          f"{fixed.state.spindowns} spindowns")
+    print(f"    adaptive    : {adaptive.energy.energy_j:6.1f} J, "
+          f"{adaptive.state.spindowns} spindowns, "
+          f"threshold ended at {adaptive.threshold_s:.1f} s")
+    assert adaptive.energy.energy_j < 0.6 * fixed.energy.energy_j
+    assert adaptive.state.spindowns <= 2
+
+    # Long gaps (laptop-style think time): adaptive keeps the savings.
+    long_gap = 60.0
+    lazy = drive(AdaptiveSpinDownDisk(2.0, seed=3), long_gap, 6)
+    never = drive(PowerManagedDisk(disk_configuration(2), seed=3), long_gap, 6)
+    print(f"  {long_gap:.0f} s gaps, 6 requests:")
+    print(f"    idle-only   : {never.energy.energy_j:6.1f} J")
+    print(f"    adaptive    : {lazy.energy.energy_j:6.1f} J, "
+          f"{lazy.state.spindowns} spindowns")
+    assert lazy.state.spindowns >= 5
+    assert lazy.energy.energy_j < never.energy.energy_j

@@ -1,0 +1,100 @@
+"""Figure 3: profile of memory-subsystem behaviour (jess).
+
+Three panels in the paper: the execution-time mode profile and the
+memory-subsystem power profile over time on Mipsy, plus the profile on
+a single-issue MXS configuration.  Key claims reproduced:
+
+* the run opens idle-dominated (class loading from disk), then user
+  mode takes over,
+* memory-subsystem power ramps steeply at the start (cold-start
+  misses) and then evens out,
+* "the average power of the memory subsystem is more than twice that
+  of the processor datapath" on the single-issue machine.
+"""
+
+from conftest import print_header
+
+from repro import SoftWatt
+from repro.kernel import ExecutionMode
+
+MEMORY_CATEGORIES = ("l1d", "l2d", "l1i", "l2i", "memory")
+
+
+def _memory_power(trace, index):
+    return sum(trace.category_w[name][index] for name in MEMORY_CATEGORIES)
+
+
+def _print_profile(result):
+    trace = result.trace
+    print(f"  {'t (s)':>6s} {'user%':>6s} {'kern%':>6s} {'idle%':>6s} "
+          f"{'mem-subsys (W)':>15s}")
+    step = max(1, len(result.timeline.log.records) // 16)
+    for index in range(0, len(result.timeline.log.records), step):
+        record = result.timeline.log.records[index]
+        cycles = record.cycles or 1.0
+        user = record.mode_cycles.get(ExecutionMode.USER, 0.0) / cycles * 100
+        kern = record.mode_cycles.get(ExecutionMode.KERNEL, 0.0) / cycles * 100
+        idle = record.mode_cycles.get(ExecutionMode.IDLE, 0.0) / cycles * 100
+        print(f"  {trace.times_s[index]:6.2f} {user:6.1f} {kern:6.1f} "
+              f"{idle:6.1f} {_memory_power(trace, index):15.2f}")
+
+
+def test_bench_fig3_jess_on_mipsy(sw_mipsy, benchmark):
+    result = sw_mipsy.run("jess", disk=1)
+
+    def replay():
+        return sw_mipsy.run("jess", disk=1)
+
+    benchmark.pedantic(replay, rounds=1, iterations=1)
+    print_header("Figure 3 (left/middle): jess memory subsystem on Mipsy")
+    _print_profile(result)
+    log = result.timeline.log
+    # The paper's Mipsy profile spans ~8 s (vs ~3.5 s on MXS).
+    print(f"  profiled period: {log.duration_s:.1f} s (paper: ~8 s)")
+    assert 6.0 <= log.duration_s <= 11.0
+    # Initial idle dominance: more idle cycles in the first tenth of the
+    # run than in the last half.
+    records = log.records
+    tenth = max(1, len(records) // 10)
+    early_idle = sum(r.mode_cycles.get(ExecutionMode.IDLE, 0.0)
+                     for r in records[:tenth])
+    late_idle = sum(r.mode_cycles.get(ExecutionMode.IDLE, 0.0)
+                    for r in records[len(records) // 2:])
+    assert early_idle > late_idle
+    # The memory-power ramp: the early interval beats the steady tail.
+    trace = result.trace
+    early_power = max(_memory_power(trace, i) for i in range(tenth * 2))
+    tail_start = len(records) * 3 // 4
+    tail_power = sum(
+        _memory_power(trace, i) for i in range(tail_start, len(records))
+    ) / (len(records) - tail_start)
+    assert early_power > tail_power
+
+
+def test_bench_fig3_single_issue_memory_vs_datapath(sw_mipsy, benchmark):
+    """On the single-issue machine (Mipsy supplies the paper's
+    memory-subsystem statistics) the memory subsystem's average power is
+    more than twice the processor datapath's."""
+    result = sw_mipsy.run("jess", disk=1)
+
+    def budget():
+        return result.power_budget()
+
+    powers = benchmark(budget)
+    memory_subsystem = sum(powers[name] for name in MEMORY_CATEGORIES)
+    datapath = powers["datapath"]
+    print_header("Figure 3 (right): single-issue memory subsystem vs datapath")
+    print(f"  memory subsystem: {memory_subsystem:.2f} W")
+    print(f"  processor datapath: {datapath:.2f} W")
+    print(f"  ratio: {memory_subsystem / datapath:.2f}x (paper: > 2x)")
+    assert memory_subsystem > 2.0 * datapath
+
+    # The 1-wide MXS configuration shows the same direction.
+    narrow = SoftWatt(
+        config=__import__("repro").SystemConfig.table1().single_issue(),
+        window_instructions=12_000,
+        seed=1,
+    )
+    narrow_powers = narrow.run("jess", disk=1).power_budget()
+    narrow_memory = sum(narrow_powers[name] for name in MEMORY_CATEGORIES)
+    assert narrow_memory > 1.2 * narrow_powers["datapath"]

@@ -1,0 +1,70 @@
+"""Figure 4: profile of processor behaviour (jess, on MXS).
+
+The paper shows the mode execution profile and the processor power
+profile over the ~3.5 s MXS run: idle-dominated start, then sustained
+user-mode execution at roughly constant power.
+"""
+
+from conftest import print_header
+
+from repro.kernel import ExecutionMode
+
+PROCESSOR_CATEGORIES = ("datapath", "l1d", "l2d", "l1i", "l2i", "clock")
+
+
+def _processor_power(trace, index):
+    return sum(trace.category_w[name][index] for name in PROCESSOR_CATEGORIES)
+
+
+def test_bench_fig4_jess_processor_profile(sw, benchmark):
+    result = sw.run("jess", disk=1)
+
+    def postprocess():
+        # The SoftWatt post-processing step: log -> power trace.
+        from repro.core.timeline import disk_power_series
+        from repro.stats.postprocess import compute_power_trace
+
+        series = disk_power_series(result.timeline.disk, result.timeline.log)
+        return compute_power_trace(result.timeline.log, sw.model,
+                                   disk_power_w=series)
+
+    trace = benchmark(postprocess)
+    print_header("Figure 4: jess processor behaviour on MXS")
+    log = result.timeline.log
+    print(f"  {'t (s)':>6s} {'user%':>6s} {'kern%':>6s} {'idle%':>6s} "
+          f"{'processor (W)':>14s}")
+    step = max(1, len(log.records) // 16)
+    for index in range(0, len(log.records), step):
+        record = log.records[index]
+        cycles = record.cycles or 1.0
+        user = record.mode_cycles.get(ExecutionMode.USER, 0.0) / cycles * 100
+        kern = record.mode_cycles.get(ExecutionMode.KERNEL, 0.0) / cycles * 100
+        idle = record.mode_cycles.get(ExecutionMode.IDLE, 0.0) / cycles * 100
+        print(f"  {trace.times_s[index]:6.2f} {user:6.1f} {kern:6.1f} "
+              f"{idle:6.1f} {_processor_power(trace, index):14.2f}")
+
+    # Paper's MXS run spans ~3.5 s.
+    print(f"  profiled period: {log.duration_s:.1f} s (paper: ~3.5 s)")
+    assert 3.0 <= log.duration_s <= 5.5
+
+    # Idle-dominated opening, user-dominated remainder.
+    first = log.records[0]
+    assert first.dominant_mode() is ExecutionMode.IDLE
+    second_half = log.records[len(log.records) // 2:]
+    user_dominant = sum(
+        1 for r in second_half if r.dominant_mode() is ExecutionMode.USER)
+    assert user_dominant >= len(second_half) * 0.9
+
+    # After the initial period, the power profile evens out: the
+    # steady-tail coefficient of variation is small.
+    tail = [
+        _processor_power(trace, i)
+        for i in range(len(log.records) // 2, len(log.records))
+    ]
+    mean = sum(tail) / len(tail)
+    var = sum((x - mean) ** 2 for x in tail) / len(tail)
+    assert (var ** 0.5) / mean < 0.35
+
+    # Power while idling is *not* zero (busy-wait idle, Section 1).
+    idle_power = _processor_power(trace, 0)
+    assert idle_power > 0.5

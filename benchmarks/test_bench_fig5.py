@@ -1,0 +1,53 @@
+"""Figure 5: overall power budget with a conventional disk.
+
+Paper: with no power-related disk optimisation, the disk is the single
+largest consumer at 34 % of average system power; the L1 I-cache and
+the clock network are the dominant on-chip categories (~22 % each),
+with datapath ~15 %, L1D ~6 %, and L2/memory under 1 %.
+"""
+
+from conftest import print_header
+
+PAPER_FIG5_SHARES = {
+    "disk": 34.0,
+    "l1i": 22.0,
+    "clock": 22.0,
+    "datapath": 15.0,
+    "l1d": 6.0,
+    "l2d": 1.0,
+    "l2i": 1.0,
+    "memory": 1.0,
+}
+
+
+def _suite_average_shares(results):
+    budgets = [result.power_budget() for result in results.values()]
+    total = {key: sum(b[key] for b in budgets) / len(budgets) for key in budgets[0]}
+    grand = sum(total.values())
+    return {key: value / grand * 100.0 for key, value in total.items()}, total
+
+
+def test_bench_fig5_power_budget(suite_conventional, benchmark):
+    shares, absolute = benchmark(_suite_average_shares, suite_conventional)
+    print_header("Figure 5: overall power budget, conventional disk")
+    print(f"  {'category':10s} {'paper %':>8s} {'measured %':>11s} {'W':>7s}")
+    for name, paper in PAPER_FIG5_SHARES.items():
+        label = f"<{paper:.0f}" if paper <= 1.0 else f"{paper:.0f}"
+        print(f"  {name:10s} {label:>8s} {shares[name]:11.1f} {absolute[name]:7.2f}")
+
+    # The headline claim: the disk is the single largest consumer.
+    assert shares["disk"] == max(shares.values())
+    assert shares["disk"] > 30.0
+    # The bulk of the remaining power is processor datapath + memory
+    # system components (Section 3.2).
+    on_chip = 100.0 - shares["disk"]
+    assert on_chip > 45.0
+    # L1I and the clock are the dominant on-chip categories.
+    on_chip_shares = {k: v for k, v in shares.items() if k != "disk"}
+    top_two = sorted(on_chip_shares, key=on_chip_shares.get, reverse=True)[:2]
+    assert set(top_two) <= {"l1i", "clock", "datapath"}
+    assert "clock" in top_two
+    # L2 and main memory stay marginal (<2 % each).
+    assert shares["l2d"] < 2.0
+    assert shares["l2i"] < 2.0
+    assert shares["memory"] < 2.0

@@ -1,0 +1,51 @@
+"""Figure 7: power budget with the IDLE-capable disk.
+
+Paper: adding the IDLE low-power mode drops the disk from 34 % to 23 %
+of average system power and shifts the power hotspot to the L1 I-cache
+and the clock distribution network (~26 % each).
+"""
+
+from conftest import print_header
+
+PAPER_FIG7_SHARES = {
+    "disk": 23.0,
+    "l1i": 26.0,
+    "clock": 26.0,
+    "datapath": 17.0,
+    "l1d": 8.0,
+    "l2d": 1.0,
+    "l2i": 1.0,
+    "memory": 1.0,
+}
+
+
+def _suite_average_shares(results):
+    budgets = [result.power_budget() for result in results.values()]
+    total = {key: sum(b[key] for b in budgets) / len(budgets) for key in budgets[0]}
+    grand = sum(total.values())
+    return {key: value / grand * 100.0 for key, value in total.items()}
+
+
+def test_bench_fig7_idle_disk_budget(
+    suite_conventional, suite_idle_disk, benchmark
+):
+    shares = benchmark(_suite_average_shares, suite_idle_disk)
+    conventional = _suite_average_shares(suite_conventional)
+    print_header("Figure 7: power budget with the IDLE-mode disk")
+    print(f"  {'category':10s} {'paper %':>8s} {'measured %':>11s} "
+          f"{'conventional %':>15s}")
+    for name, paper in PAPER_FIG7_SHARES.items():
+        label = f"<{paper:.0f}" if paper <= 1.0 else f"{paper:.0f}"
+        print(f"  {name:10s} {label:>8s} {shares[name]:11.1f} "
+              f"{conventional[name]:15.1f}")
+
+    # The headline transition: the disk's dominance shrinks markedly.
+    drop = conventional["disk"] - shares["disk"]
+    print(f"  disk share drop: {conventional['disk']:.1f}% -> "
+          f"{shares['disk']:.1f}%  (paper: 34% -> 23%)")
+    assert drop > 7.0
+    # The hotspot shifts: L1I + clock now out-consume the disk.
+    assert shares["l1i"] + shares["clock"] > shares["disk"]
+    # Every on-chip share grows relative to Figure 5.
+    for name in ("l1i", "clock", "datapath"):
+        assert shares[name] > conventional[name]

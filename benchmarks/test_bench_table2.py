@@ -1,0 +1,100 @@
+"""Table 2: percentage breakdown of energy and cycles per mode.
+
+Per benchmark, the share of cycles and of energy spent in user mode,
+kernel instructions, kernel synchronisation, and idle.  The paper's
+patterns reproduced and asserted:
+
+* user mode takes the bulk of both cycles and energy,
+* the user mode's energy share EXCEEDS its cycle share (its higher ILP
+  makes it the most power-dense mode),
+* the kernel's energy share falls BELOW its cycle share (low-IPC,
+  stall-heavy code), and likewise for idle,
+* compress has the most user-dominated profile of the suite.
+"""
+
+from conftest import print_header
+
+from repro.kernel import ExecutionMode
+from repro.workloads import BENCHMARK_NAMES
+
+PAPER_TABLE2 = {
+    # benchmark: (user_cyc, kern_cyc, sync_cyc, idle_cyc,
+    #             user_en, kern_en, sync_en, idle_en)
+    "compress": (88.24, 7.95, 0.20, 3.61, 93.74, 4.18, 0.14, 1.94),
+    "jess": (63.69, 24.57, 0.86, 10.88, 77.15, 15.12, 0.68, 7.05),
+    "db": (66.10, 24.28, 0.75, 8.87, 81.19, 13.22, 0.54, 5.05),
+    "javac": (64.20, 27.54, 0.55, 7.71, 78.47, 15.98, 0.44, 5.11),
+    "mtrt": (80.62, 14.80, 0.26, 4.32, 90.07, 7.44, 0.17, 2.32),
+    "jack": (69.02, 27.91, 0.63, 2.44, 81.36, 16.43, 0.51, 1.70),
+}
+
+MODES = (ExecutionMode.USER, ExecutionMode.KERNEL, ExecutionMode.SYNC,
+         ExecutionMode.IDLE)
+
+
+def _breakdowns(results):
+    return {name: result.mode_breakdown() for name, result in results.items()}
+
+
+def test_bench_table2(suite_conventional, benchmark):
+    table = benchmark(_breakdowns, suite_conventional)
+    print_header("Table 2: percentage breakdown of energy and cycles")
+    print(f"  {'benchmark':10s} "
+          f"{'user c/e':>14s} {'kernel c/e':>14s} {'sync c/e':>12s} "
+          f"{'idle c/e':>12s}")
+    for name in BENCHMARK_NAMES:
+        rows = table[name]
+        paper = PAPER_TABLE2[name]
+        measured = " ".join(
+            f"{rows[mode].cycles_pct:5.1f}/{rows[mode].energy_pct:5.1f}"
+            for mode in MODES)
+        print(f"  {name:10s}  {measured}")
+        reference = " ".join(
+            f"{paper[i]:5.1f}/{paper[i + 4]:5.1f}" for i in range(4))
+        print(f"  {'  (paper)':10s}  {reference}")
+
+    for name in BENCHMARK_NAMES:
+        rows = table[name]
+        user = rows[ExecutionMode.USER]
+        kernel = rows[ExecutionMode.KERNEL]
+        idle = rows[ExecutionMode.IDLE]
+        # User dominates both columns.
+        assert user.cycles_pct > 50.0, name
+        assert user.energy_pct > 50.0, name
+        # Energy-vs-cycle share patterns.
+        assert user.energy_pct > user.cycles_pct, name
+        assert kernel.energy_pct < kernel.cycles_pct, name
+        assert idle.energy_pct <= idle.cycles_pct * 1.05, name
+        # Shares add up.
+        assert abs(sum(rows[m].cycles_pct for m in MODES) - 100.0) < 0.5
+        assert abs(sum(rows[m].energy_pct for m in MODES) - 100.0) < 0.5
+
+    # compress is the most user-dominated benchmark of the suite.
+    compress_user = table["compress"][ExecutionMode.USER].cycles_pct
+    for other in BENCHMARK_NAMES:
+        if other != "compress":
+            assert compress_user > table[other][ExecutionMode.USER].cycles_pct
+
+
+def test_bench_table2_kernel_share_rises_with_issue_width(sw, benchmark):
+    """Section 3.2: kernel activity rises from 14.28 % (single-issue) to
+    21.02 % (4-wide superscalar) because kernel code has lower IPC and
+    worse branch prediction — it scales worse with machine width."""
+    from repro import SoftWatt, SystemConfig
+
+    narrow_sw = SoftWatt(config=SystemConfig.table1().single_issue(),
+                         window_instructions=15_000, seed=1)
+
+    def kernel_share(instance, name="jess"):
+        result = instance.run(name, disk=1)
+        rows = result.mode_breakdown()
+        return (rows[ExecutionMode.KERNEL].cycles_pct
+                + rows[ExecutionMode.SYNC].cycles_pct)
+
+    narrow = benchmark.pedantic(
+        kernel_share, args=(narrow_sw,), rounds=1, iterations=1)
+    wide = kernel_share(sw)
+    print_header("Table 2 companion: kernel share vs issue width (jess)")
+    print(f"  single-issue kernel share: {narrow:.1f}%  (paper avg: 14.3%)")
+    print(f"  4-wide kernel share      : {wide:.1f}%  (paper avg: 21.0%)")
+    assert wide > narrow

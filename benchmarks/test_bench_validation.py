@@ -1,0 +1,43 @@
+"""Section 2 validation: R10000 maximum power.
+
+Paper: "In comparison to the maximum power dissipation of 30 W reported
+in the R10000 data sheet, SoftWatt reports 25.3 W."
+"""
+
+from conftest import print_header
+
+from repro import r10000_max_power
+from repro.config import SystemConfig
+from repro.power import ProcessorPowerModel
+
+R10000_DATASHEET_W = 30.0
+PAPER_SOFTWATT_W = 25.3
+
+
+def test_bench_r10000_max_power(benchmark):
+    power = benchmark(r10000_max_power)
+    print_header("Validation: R10000 maximum CPU power (Section 2)")
+    print(f"  datasheet maximum : {R10000_DATASHEET_W:.1f} W")
+    print(f"  paper SoftWatt    : {PAPER_SOFTWATT_W:.1f} W")
+    print(f"  this reproduction : {power:.1f} W")
+    assert abs(power - PAPER_SOFTWATT_W) < 0.5
+    assert power < R10000_DATASHEET_W
+
+
+def test_bench_max_power_breakdown(benchmark):
+    model = ProcessorPowerModel(SystemConfig.table1())
+
+    def breakdown():
+        counters = model.max_power_counters(100_000)
+        return model.average_power_w(counters, 100_000)
+
+    powers = benchmark(breakdown)
+    print_header("Validation: maximum-power category breakdown")
+    total = sum(v for k, v in powers.items() if k != "memory")
+    for name, value in powers.items():
+        print(f"  {name:10s} {value:6.2f} W ({value / total * 100:5.1f}% of max)")
+    # At maximum duty the datapath (every ALU and both FP pipes busy
+    # every cycle) dominates; the clock and L1I follow.
+    assert powers["datapath"] == max(powers.values())
+    assert powers["clock"] > 0.08 * total
+    assert powers["l1i"] > 0.08 * total

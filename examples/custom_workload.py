@@ -1,0 +1,117 @@
+#!/usr/bin/env python
+"""Characterise a custom workload (the paper's 'other workloads' future work).
+
+The paper closes by noting the tool "will be invaluable in analyzing
+other workloads such as database workloads", whose hosting costs were
+already a concern in 2001.  This example builds a synthetic
+*file-server* workload from the library's public pieces — a custom
+user-code signature, a JVM-style phase structure, and a periodic disk
+access pattern — runs it under two disk policies, and reports the
+complete-system picture.
+
+    python examples/custom_workload.py
+"""
+
+from repro import SoftWatt
+from repro.core.report import MODE_ORDER
+from repro.isa import CodeSignature
+from repro.workloads import BenchmarkSpec, DiskEvent, JVMPhases, PhaseSpec
+from repro.workloads.specjvm98 import (
+    PAPER_RUN_CYCLES,
+    PAPER_TABLE4_INVOCATIONS,
+)
+
+KB = 1024
+MB = 1024 * KB
+
+
+def build_fileserver_spec() -> BenchmarkSpec:
+    """A request-loop server: modest compute, periodic cold-file reads."""
+    serving = CodeSignature(
+        name="fileserver",
+        load_fraction=0.28,
+        store_fraction=0.10,
+        dependency_distance=9.0,
+        loop_body_mean=12,
+        loop_iterations_mean=40,
+        irregular_branch_fraction=0.08,
+        call_fraction=0.06,
+        code_footprint_bytes=192 * KB,
+        hot_code_bytes=12 * KB,
+        data_footprint_bytes=2 * MB,
+        hot_data_bytes=32 * KB,
+        temporal_locality=0.80,
+        spatial_run_mean=24,
+    )
+    warmup = CodeSignature(
+        name="fileserver-warmup",
+        load_fraction=0.30,
+        dependency_distance=8.0,
+        code_footprint_bytes=384 * KB,
+        hot_code_fraction=0.6,
+        data_footprint_bytes=3 * MB,
+        hot_data_bytes=32 * KB,
+        temporal_locality=0.55,
+        spatial_run_mean=8,
+    )
+    phases = JVMPhases(phases=(
+        PhaseSpec(name="startup", compute_fraction=0.08, signature=warmup,
+                  sync_mean_gap=20_000, cold_caches=True),
+        PhaseSpec(name="steady", compute_fraction=0.84, signature=serving,
+                  sync_mean_gap=9_000),
+        PhaseSpec(name="gc", compute_fraction=0.08, signature=serving,
+                  sync_mean_gap=20_000),
+    ))
+    # A request hits a cold file roughly every 700 ms: the disk never
+    # idles long enough for any reasonable spin-down threshold.
+    events = [DiskEvent(0.05 + 0.03 * i, 96 * KB) for i in range(4)]
+    events += [DiskEvent(0.7 * i, 32 * KB) for i in range(1, 14)]
+    events.sort(key=lambda event: event.progress_s)
+    return BenchmarkSpec(
+        name="fileserver",
+        description="Request-serving loop with periodic cold-file reads",
+        phases=phases,
+        compute_duration_s=10.0,
+        disk_events=tuple(events),
+        seed=97,
+    )
+
+
+def main() -> None:
+    spec = build_fileserver_spec()
+    # Scheduled-service densities are table-driven; reuse jack's
+    # OS-heavy profile for this server-style workload.
+    PAPER_TABLE4_INVOCATIONS[spec.name] = PAPER_TABLE4_INVOCATIONS["jack"]
+    PAPER_RUN_CYCLES[spec.name] = PAPER_RUN_CYCLES["jack"]
+
+    softwatt = SoftWatt(window_instructions=30_000, seed=5)
+    print(f"Custom workload: {spec.description}")
+    print(f"  {len(spec.disk_events)} disk requests over "
+          f"{spec.compute_duration_s:.0f} s of compute\n")
+
+    for disk in (1, 2, 3):
+        result = softwatt.run(spec, disk=disk)
+        shares = result.power_budget_shares()
+        print(f"disk policy {result.disk_policy_name!r}:")
+        print(f"  total energy {result.total_energy_j:6.1f} J "
+              f"(disk {result.disk_energy_j:5.1f} J, "
+              f"{shares['disk']:4.1f}% of power), "
+              f"run time {result.timeline.duration_s:5.2f} s, "
+              f"spindowns {result.timeline.disk.state.spindowns}")
+
+    result = softwatt.run(spec, disk=2)
+    print("\nMode breakdown with the IDLE-capable disk:")
+    for mode in MODE_ORDER:
+        row = result.mode_breakdown()[mode]
+        print(f"  {mode.value:8s} {row.cycles_pct:6.2f}% cycles  "
+              f"{row.energy_pct:6.2f}% energy")
+    print("\nTop kernel services:")
+    for row in result.service_breakdown()[:5]:
+        print(f"  {row.service:12s} {row.kernel_cycles_pct:6.2f}% kernel cycles")
+    print("\nTakeaway: with sub-second request gaps, even the 2 s "
+          "threshold never spins the disk down — the IDLE mode is all "
+          "the power management this workload can use.")
+
+
+if __name__ == "__main__":
+    main()

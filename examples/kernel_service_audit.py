@@ -1,0 +1,71 @@
+#!/usr/bin/env python
+"""Kernel-service energy audit and trace-based estimation (Section 3.3).
+
+First characterises every kernel service per invocation (Table 5 /
+Figure 8), then demonstrates the acceleration idea the paper draws from
+it: because per-invocation service energy is nearly constant, a plain
+*invocation trace* (the kind ``prof``/``truss`` produce) multiplied by
+the per-service means estimates the scheduled kernel energy without
+detailed simulation — the paper quotes an error margin of about 10 %.
+
+    python examples/kernel_service_audit.py [benchmark]
+"""
+
+import sys
+
+from repro import SoftWatt
+from repro.kernel.modes import EXTERNAL_SERVICES, KERNEL_SERVICES
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "jack"
+    softwatt = SoftWatt(window_instructions=30_000, seed=1)
+    cycle_time = softwatt.config.technology.cycle_time_s
+
+    print("Per-invocation characterisation (Table 5 / Figure 8 shape):")
+    print(f"  {'service':12s} {'cycles':>8s} {'energy J':>11s} {'CoD %':>7s} "
+          f"{'power W':>8s} {'kind':>9s}")
+    profiles = softwatt.service_profiles(invocations=50)
+    for service in KERNEL_SERVICES:
+        profile = profiles[service]
+        kind = "external" if service in EXTERNAL_SERVICES else "internal"
+        print(f"  {service:12s} {profile.mean_cycles:8.0f} "
+              f"{profile.mean_energy_j:11.4g} "
+              f"{profile.coefficient_of_deviation:7.2f} "
+              f"{profile.average_power_w(cycle_time):8.2f} {kind:>9s}")
+
+    print(f"\nTrace-based estimation for {name}:")
+    result = softwatt.run(name, disk=1)
+    timeline = result.timeline
+
+    estimated = 0.0
+    simulated = 0.0
+    print(f"  {'service':12s} {'invocations':>12s} {'estimated J':>12s} "
+          f"{'simulated J':>12s}")
+    for row in result.service_breakdown():
+        if row.service == "utlb":
+            # utlb is emergent; its invocation count comes from the
+            # simulation itself, exactly like a truss/prof trace would.
+            pass
+        profile = profiles.get(row.service)
+        if profile is None or row.invocations <= 0:
+            continue
+        trace_estimate = row.invocations * profile.mean_energy_j
+        estimated += trace_estimate
+        simulated += row.energy_j
+        print(f"  {row.service:12s} {row.invocations:12.0f} "
+              f"{trace_estimate:12.4g} {row.energy_j:12.4g}")
+
+    error = abs(estimated - simulated) / simulated * 100.0
+    print(f"\n  scheduled-kernel energy: estimated {estimated:.3g} J vs "
+          f"simulated {simulated:.3g} J  ({error:.1f}% error)")
+    print("  (The paper: per-invocation constancy makes ~10%-accurate "
+          "kernel-energy estimates possible without detailed simulation. "
+          "Most of the residual error here sits in utlb, whose in-run "
+          "invocations carry trap-entry overhead that the isolated "
+          "per-invocation profile excludes.)")
+    assert timeline.invocations  # the trace the estimate was built from
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python
+"""Quickstart: run one SPEC JVM98 benchmark through SoftWatt.
+
+Simulates jess on the Table 1 machine with the conventional disk, then
+prints the complete-system view the paper is built around: the mode
+breakdown (Table 2), the kernel-service decomposition (Table 4), the
+overall power budget (Figure 5), and a coarse power-over-time profile
+(Figure 4).
+
+    python examples/quickstart.py [benchmark]
+"""
+
+import sys
+
+from repro import SoftWatt
+from repro.core.report import MODE_ORDER
+from repro.power import CATEGORIES
+
+
+def main() -> None:
+    name = sys.argv[1] if len(sys.argv) > 1 else "jess"
+    print(f"Configuring SoftWatt (Table 1 machine, MXS CPU model)...")
+    softwatt = SoftWatt(window_instructions=30_000, seed=1)
+    print(f"R10000 max-power validation: {softwatt.validate_max_power():.1f} W "
+          f"(paper: 25.3 W vs the 30 W datasheet)\n")
+
+    print(f"Simulating {name} with the conventional disk...")
+    result = softwatt.run(name, disk=1)
+    print(result.format_summary())
+
+    print("\nMode breakdown (Table 2 shape):")
+    print(f"  {'mode':8s} {'%cycles':>8s} {'%energy':>8s}")
+    for mode in MODE_ORDER:
+        row = result.mode_breakdown()[mode]
+        print(f"  {mode.value:8s} {row.cycles_pct:8.2f} {row.energy_pct:8.2f}")
+
+    print("\nKernel services (Table 4 shape):")
+    print(f"  {'service':12s} {'invocations':>12s} {'%kernel cyc':>12s} "
+          f"{'%kernel en':>11s}")
+    for row in result.service_breakdown()[:6]:
+        print(f"  {row.service:12s} {row.invocations:12.0f} "
+              f"{row.kernel_cycles_pct:12.2f} {row.kernel_energy_pct:11.2f}")
+
+    print("\nOverall power budget (Figure 5 shape):")
+    budget = result.power_budget()
+    shares = result.power_budget_shares()
+    for category in list(CATEGORIES) + ["disk"]:
+        print(f"  {category:10s} {budget[category]:6.2f} W  "
+              f"{shares[category]:5.1f}%")
+
+    print("\nPower over time (Figure 4 shape):")
+    trace = result.trace
+    step = max(1, len(trace.times_s) // 12)
+    for index in range(0, len(trace.times_s), step):
+        total = trace.total_with_disk_w[index]
+        bar = "#" * int(total * 3)
+        print(f"  t={trace.times_s[index]:5.2f}s {total:6.2f} W  {bar}")
+
+
+if __name__ == "__main__":
+    main()

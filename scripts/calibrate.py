@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Calibration dashboard: paper targets vs measured, per benchmark.
+
+Run after changing workload signatures, kernel-service bodies, or the
+power models.  Prints Table 2 / Table 3 style numbers plus the power
+budget, against the paper's published values.
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro import SoftWatt
+from repro.kernel.modes import ExecutionMode
+from repro.workloads import BENCHMARK_NAMES
+from repro.workloads.paper_data import TABLE2, TABLE3
+
+PAPER_TABLE2 = {
+    name: (row.user_cycles, row.kernel_cycles, row.sync_cycles,
+           row.idle_cycles, row.user_energy, row.kernel_energy,
+           row.sync_energy, row.idle_energy)
+    for name, row in TABLE2.items()
+}
+PAPER_TABLE3_USER = {name: row.user for name, row in TABLE3.items()}
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--window", type=int, default=40_000)
+    parser.add_argument("--benchmarks", nargs="*", default=list(BENCHMARK_NAMES))
+    parser.add_argument("--cpu", default="mxs")
+    args = parser.parse_args()
+
+    sw = SoftWatt(cpu_model=args.cpu, window_instructions=args.window, seed=1)
+    print(f"R10000 max power: {sw.validate_max_power():.2f} W (paper: 25.3)")
+    budgets = []
+    for name in args.benchmarks:
+        result = sw.run(name, disk=1)
+        modes = result.mode_breakdown()
+        rates = result.cache_rates()
+        paper2 = PAPER_TABLE2[name]
+        paper3 = PAPER_TABLE3_USER[name]
+        u, k, s, i = (modes[m] for m in (
+            ExecutionMode.USER, ExecutionMode.KERNEL, ExecutionMode.SYNC,
+            ExecutionMode.IDLE))
+        print(f"\n=== {name} (dur {result.timeline.duration_s:.1f}s) ===")
+        print(f"  cycles%  user {u.cycles_pct:5.1f} (paper {paper2[0]:5.1f})  "
+              f"kern {k.cycles_pct:5.1f} ({paper2[1]:5.1f})  "
+              f"sync {s.cycles_pct:4.2f} ({paper2[2]:4.2f})  "
+              f"idle {i.cycles_pct:5.1f} ({paper2[3]:5.1f})")
+        print(f"  energy%  user {u.energy_pct:5.1f} (paper {paper2[4]:5.1f})  "
+              f"kern {k.energy_pct:5.1f} ({paper2[5]:5.1f})  "
+              f"sync {s.energy_pct:4.2f} ({paper2[6]:4.2f})  "
+              f"idle {i.energy_pct:5.1f} ({paper2[7]:5.1f})")
+        ru = rates[ExecutionMode.USER]
+        rk = rates[ExecutionMode.KERNEL]
+        rs = rates[ExecutionMode.SYNC]
+        ri = rates[ExecutionMode.IDLE]
+        print(f"  user iL1/c {ru.il1_per_cycle:.2f} (paper {paper3[0]:.2f})  "
+              f"dL1/c {ru.dl1_per_cycle:.2f} ({paper3[1]:.2f})")
+        print(f"  kern iL1/c {rk.il1_per_cycle:.2f} (~1.08)  dL1/c {rk.dl1_per_cycle:.2f} (~0.20)")
+        print(f"  sync iL1/c {rs.il1_per_cycle:.2f} (~1.55)  idle iL1/c {ri.il1_per_cycle:.2f} (~0.78)")
+        rows = result.service_breakdown()
+        top = "  ".join(
+            f"{r.service}:{r.kernel_cycles_pct:.0f}%/{r.kernel_energy_pct:.0f}%"
+            for r in rows[:4]
+        )
+        print(f"  kernel services (cyc%/en%): {top}")
+        budget = result.power_budget_shares()
+        budgets.append(budget)
+        print("  budget: " + "  ".join(f"{kk}:{vv:.1f}%" for kk, vv in budget.items()))
+    if len(budgets) == len(BENCHMARK_NAMES):
+        avg = {
+            key: sum(b[key] for b in budgets) / len(budgets) for key in budgets[0]
+        }
+        print("\n=== suite-average budget (paper Fig5: dp15 l1d6 l1i22 clk22 mem<1 disk34) ===")
+        print("  " + "  ".join(f"{kk}:{vv:.1f}%" for kk, vv in avg.items()))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+"""SoftWatt reproduction: complete machine simulation for software power estimation.
+
+A pure-Python reproduction of *"Using Complete Machine Simulation for
+Software Power Estimation: The SoftWatt Approach"* (Gurumurthi et al.,
+HPCA 2002): a complete-system power simulator modelling an out-of-order
+CPU, the memory hierarchy, an IRIX-like operating system, and a
+low-power disk, with validated analytical energy models applied in
+post-processing.
+
+Quick start::
+
+    from repro import SoftWatt
+
+    sw = SoftWatt()
+    result = sw.run("jess", disk=1)      # conventional disk
+    print(result.format_summary())
+    print(result.power_budget_shares())  # the Figure 5 pie
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured record of every table and figure.
+"""
+
+from repro.config.system import SystemConfig
+from repro.config.diskcfg import DiskMode, DiskPowerPolicy, disk_configuration
+from repro.core.report import BenchmarkResult
+from repro.core.softwatt import SoftWatt
+from repro.kernel.modes import ExecutionMode
+from repro.power.processor import ProcessorPowerModel, r10000_max_power
+from repro.workloads.specjvm98 import BENCHMARK_NAMES, benchmark, all_benchmarks
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "SystemConfig",
+    "DiskMode",
+    "DiskPowerPolicy",
+    "disk_configuration",
+    "BenchmarkResult",
+    "SoftWatt",
+    "ExecutionMode",
+    "ProcessorPowerModel",
+    "r10000_max_power",
+    "BENCHMARK_NAMES",
+    "benchmark",
+    "all_benchmarks",
+    "__version__",
+]

@@ -1,0 +1,307 @@
+"""Command-line interface to the SoftWatt simulator.
+
+Usage (after ``pip install -e .``)::
+
+    repro validate
+    repro run jess --disk 3 --export-trace jess.csv
+    repro suite --disk 1
+    repro services
+    repro disk-study compress
+    repro checkpoint --out profiles.json jess db
+
+or equivalently ``python -m repro ...``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.config.diskcfg import DiskPowerPolicy
+from repro.core.report import MODE_ORDER, BenchmarkResult
+from repro.core.softwatt import SoftWatt
+from repro.kernel.modes import KERNEL_SERVICES
+from repro.power.processor import CATEGORIES
+from repro.workloads.specjvm98 import BENCHMARK_NAMES
+
+
+def _add_common(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--cpu", choices=("mxs", "mipsy"), default="mxs",
+                        help="CPU timing model (default: mxs)")
+    parser.add_argument("--window", type=int, default=40_000,
+                        help="detailed-window instructions (default: 40000)")
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--checkpoint", metavar="FILE",
+                        help="load profiles from / save profiles to FILE")
+
+
+def _make_softwatt(args: argparse.Namespace) -> SoftWatt:
+    softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
+                        seed=args.seed)
+    if args.checkpoint:
+        try:
+            softwatt.load_checkpoint(args.checkpoint)
+            print(f"(profiles loaded from {args.checkpoint})")
+        except (OSError, Exception) as error:  # noqa: BLE001 - report and continue
+            from repro.core.checkpoint import CheckpointError
+
+            if isinstance(error, CheckpointError) and "cannot read" in str(error):
+                print(f"(no checkpoint at {args.checkpoint} yet; will create it)")
+            else:
+                raise
+    return softwatt
+
+
+def _maybe_save(softwatt: SoftWatt, args: argparse.Namespace) -> None:
+    if args.checkpoint:
+        softwatt.save_checkpoint(args.checkpoint)
+        print(f"(profiles saved to {args.checkpoint})")
+
+
+def _print_report(result: BenchmarkResult) -> None:
+    print(result.format_summary())
+    print(f"  peak power {result.peak_power_w:.2f} W, "
+          f"average {result.average_power_w:.2f} W, "
+          f"EDP {result.energy_delay_product:.1f} Js")
+    print("\nmode breakdown:")
+    for mode in MODE_ORDER:
+        row = result.mode_breakdown()[mode]
+        print(f"  {mode.value:8s} {row.cycles_pct:6.2f}% cycles  "
+              f"{row.energy_pct:6.2f}% energy  ({row.energy_j:.2f} J)")
+    print("\nkernel services:")
+    for row in result.service_breakdown()[:8]:
+        print(f"  {row.service:12s} num={row.invocations:12.0f}  "
+              f"{row.kernel_cycles_pct:6.2f}% kernel cycles  "
+              f"{row.kernel_energy_pct:6.2f}% kernel energy")
+    print("\npower budget:")
+    budget = result.power_budget()
+    shares = result.power_budget_shares()
+    for name in list(CATEGORIES) + ["disk"]:
+        print(f"  {name:10s} {budget[name]:6.2f} W  {shares[name]:5.1f}%")
+
+
+def cmd_validate(args: argparse.Namespace) -> int:
+    softwatt = _make_softwatt(args)
+    power = softwatt.validate_max_power()
+    print(f"R10000 maximum power estimate: {power:.1f} W")
+    print("paper SoftWatt: 25.3 W; R10000 datasheet: 30 W")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    softwatt = _make_softwatt(args)
+    result = softwatt.run(args.benchmark, disk=args.disk,
+                          idle_policy=args.idle_policy)
+    _print_report(result)
+    if args.export_log:
+        from repro.stats.export import write_log_csv
+
+        write_log_csv(result.timeline.log, args.export_log)
+        print(f"\nlog written to {args.export_log}")
+    if args.export_trace:
+        from repro.stats.export import write_trace_csv
+
+        write_trace_csv(result.trace, args.export_trace)
+        print(f"trace written to {args.export_trace}")
+    _maybe_save(softwatt, args)
+    return 0
+
+
+def cmd_suite(args: argparse.Namespace) -> int:
+    softwatt = _make_softwatt(args)
+    print(f"{'benchmark':10s} {'dur s':>6s} {'energy J':>9s} {'disk J':>7s} "
+          f"{'user%':>6s} {'kern%':>6s} {'idle%':>6s} {'disk%':>6s}")
+    for name in BENCHMARK_NAMES:
+        result = softwatt.run(name, disk=args.disk)
+        modes = result.mode_breakdown()
+        shares = result.power_budget_shares()
+        user, kern, _sync, idle = (modes[m] for m in MODE_ORDER)
+        print(f"{name:10s} {result.timeline.duration_s:6.2f} "
+              f"{result.total_energy_j:9.1f} {result.disk_energy_j:7.1f} "
+              f"{user.cycles_pct:6.1f} {kern.cycles_pct:6.1f} "
+              f"{idle.cycles_pct:6.1f} {shares['disk']:6.1f}")
+    _maybe_save(softwatt, args)
+    return 0
+
+
+def cmd_services(args: argparse.Namespace) -> int:
+    softwatt = _make_softwatt(args)
+    cycle_time = softwatt.config.technology.cycle_time_s
+    profiles = softwatt.service_profiles(invocations=args.invocations)
+    print(f"{'service':12s} {'cycles':>8s} {'energy J':>11s} {'CoD %':>7s} "
+          f"{'power W':>8s}")
+    for name in KERNEL_SERVICES:
+        profile = profiles[name]
+        print(f"{name:12s} {profile.mean_cycles:8.0f} "
+              f"{profile.mean_energy_j:11.4g} "
+              f"{profile.coefficient_of_deviation:7.2f} "
+              f"{profile.average_power_w(cycle_time):8.2f}")
+    return 0
+
+
+def cmd_disk_study(args: argparse.Namespace) -> int:
+    softwatt = _make_softwatt(args)
+    print(f"{'policy':16s} {'disk J':>8s} {'total J':>8s} {'idle cyc':>10s} "
+          f"{'spindowns':>10s} {'dur s':>7s}")
+    for disk in (1, 2, 3, 4):
+        result = softwatt.run(args.benchmark, disk=disk)
+        print(f"{result.disk_policy_name:16s} {result.disk_energy_j:8.1f} "
+              f"{result.total_energy_j:8.1f} {result.idle_cycles:10.3g} "
+              f"{result.timeline.disk.state.spindowns:10d} "
+              f"{result.timeline.duration_s:7.2f}")
+    if args.threshold:
+        for threshold in args.threshold:
+            policy = DiskPowerPolicy(name=f"custom-{threshold:g}s",
+                                     spindown_threshold_s=threshold)
+            result = softwatt.run(args.benchmark, disk=policy)
+            print(f"{policy.name:16s} {result.disk_energy_j:8.1f} "
+                  f"{result.total_energy_j:8.1f} {result.idle_cycles:10.3g} "
+                  f"{result.timeline.disk.state.spindowns:10d} "
+                  f"{result.timeline.duration_s:7.2f}")
+    _maybe_save(softwatt, args)
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    from repro.core.textreport import render_run, render_suite
+
+    softwatt = _make_softwatt(args)
+    if args.benchmark == "suite":
+        results = {
+            name: softwatt.run(name, disk=args.disk)
+            for name in BENCHMARK_NAMES
+        }
+        text = render_suite(results)
+    else:
+        text = render_run(softwatt.run(args.benchmark, disk=args.disk))
+    if args.out:
+        with open(args.out, "w") as handle:
+            handle.write(text)
+        print(f"report written to {args.out}")
+    else:
+        print(text)
+    _maybe_save(softwatt, args)
+    return 0
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.sensitivity import sweep_parameter, sweep_spindown_threshold
+
+    values = args.values
+    if args.parameter == "spindown_threshold_s":
+        result = sweep_spindown_threshold(
+            [float(v) for v in values],
+            benchmark=args.benchmark,
+            window_instructions=args.window,
+            seed=args.seed,
+        )
+    else:
+        result = sweep_parameter(
+            args.parameter,
+            [int(v) for v in values],
+            benchmark=args.benchmark,
+            disk=args.disk,
+            window_instructions=args.window,
+            seed=args.seed,
+        )
+    print(result.format())
+    best = result.best_by_edp()
+    print(f"best EDP at {args.parameter}={best.value}: "
+          f"{best.energy_delay_product:.1f} Js")
+    return 0
+
+
+def cmd_checkpoint(args: argparse.Namespace) -> int:
+    softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
+                        seed=args.seed)
+    names = args.benchmarks or list(BENCHMARK_NAMES)
+    for name in names:
+        print(f"profiling {name}...")
+        softwatt.profile(name)
+    softwatt._cached_service_profiles()
+    softwatt.save_checkpoint(args.out)
+    print(f"checkpoint written to {args.out}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SoftWatt: complete-machine software power estimation",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("validate", help="R10000 maximum-power validation")
+    _add_common(p)
+    p.set_defaults(func=cmd_validate)
+
+    p = sub.add_parser("run", help="simulate one benchmark")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--disk", type=int, choices=(1, 2, 3, 4), default=1,
+                   help="disk configuration (Section 4; default: 1)")
+    p.add_argument("--idle-policy", choices=("busywait", "halt"),
+                   default="busywait",
+                   help="busy-wait idle (IRIX) or halt the CPU (Section 5)")
+    p.add_argument("--export-log", metavar="CSV",
+                   help="write the simulation log as CSV")
+    p.add_argument("--export-trace", metavar="CSV",
+                   help="write the power trace as CSV")
+    _add_common(p)
+    p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("suite", help="run all six benchmarks")
+    p.add_argument("--disk", type=int, choices=(1, 2, 3, 4), default=1)
+    _add_common(p)
+    p.set_defaults(func=cmd_suite)
+
+    p = sub.add_parser("services", help="kernel-service characterisation")
+    p.add_argument("--invocations", type=int, default=50)
+    _add_common(p)
+    p.set_defaults(func=cmd_services)
+
+    p = sub.add_parser("disk-study", help="sweep the disk configurations")
+    p.add_argument("benchmark", choices=BENCHMARK_NAMES)
+    p.add_argument("--threshold", type=float, action="append",
+                   help="additional custom spin-down thresholds (repeatable)")
+    _add_common(p)
+    p.set_defaults(func=cmd_disk_study)
+
+    p = sub.add_parser("report", help="paper-style text report")
+    p.add_argument("benchmark", choices=(*BENCHMARK_NAMES, "suite"))
+    p.add_argument("--disk", type=int, choices=(1, 2, 3, 4), default=1)
+    p.add_argument("--out", metavar="FILE", help="write to FILE (default: stdout)")
+    _add_common(p)
+    p.set_defaults(func=cmd_report)
+
+    p = sub.add_parser("sensitivity", help="sweep one design parameter")
+    p.add_argument("parameter",
+                   help="l1_size | l2_size | window_size | issue_width | "
+                        "tlb_entries | spindown_threshold_s")
+    p.add_argument("values", nargs="+", help="values to sweep")
+    p.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="jess")
+    p.add_argument("--disk", type=int, choices=(1, 2, 3, 4), default=2)
+    p.add_argument("--window", type=int, default=15_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_sensitivity)
+
+    p = sub.add_parser("checkpoint", help="profile benchmarks and save")
+    p.add_argument("benchmarks", nargs="*",
+                   help="benchmarks to profile (default: all six)")
+    p.add_argument("--out", required=True, metavar="FILE")
+    p.add_argument("--cpu", choices=("mxs", "mipsy"), default="mxs")
+    p.add_argument("--window", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.set_defaults(func=cmd_checkpoint)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,62 @@
+"""Configuration for the SoftWatt reproduction.
+
+``SystemConfig.table1()`` is the paper's baseline machine;
+``disk_configuration(n)`` selects one of the Section 4 disk policies;
+``DEFAULT_TECHNOLOGY`` is the 0.35 um / 3.3 V / 200 MHz design point.
+"""
+
+from repro.config.system import (
+    KB,
+    MB,
+    PAGE_SIZE,
+    CacheConfig,
+    CoreConfig,
+    MemoryConfig,
+    SystemConfig,
+    TLBConfig,
+)
+from repro.config.technology import (
+    CLOCK_HZ,
+    CYCLE_TIME_S,
+    DEFAULT_TECHNOLOGY,
+    FEATURE_SIZE_UM,
+    VDD,
+    Technology,
+    switching_energy,
+)
+from repro.config.diskcfg import (
+    ALL_DISK_CONFIGURATIONS,
+    MK3003MAN_POWER_W,
+    SPINDOWN_TIME_S,
+    SPINUP_TIME_S,
+    DiskGeometry,
+    DiskMode,
+    DiskPowerPolicy,
+    disk_configuration,
+)
+
+__all__ = [
+    "KB",
+    "MB",
+    "PAGE_SIZE",
+    "CacheConfig",
+    "CoreConfig",
+    "MemoryConfig",
+    "SystemConfig",
+    "TLBConfig",
+    "CLOCK_HZ",
+    "CYCLE_TIME_S",
+    "DEFAULT_TECHNOLOGY",
+    "FEATURE_SIZE_UM",
+    "VDD",
+    "Technology",
+    "switching_energy",
+    "ALL_DISK_CONFIGURATIONS",
+    "MK3003MAN_POWER_W",
+    "SPINDOWN_TIME_S",
+    "SPINUP_TIME_S",
+    "DiskGeometry",
+    "DiskMode",
+    "DiskPowerPolicy",
+    "disk_configuration",
+]

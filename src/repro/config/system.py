@@ -1,0 +1,178 @@
+"""System model configuration (Table 1 of the paper).
+
+Every structural parameter SoftWatt exposes is collected here as a
+frozen dataclass tree.  ``SystemConfig.table1()`` reproduces the exact
+baseline used for the characterisation study; ``single_issue()``
+produces the 1-wide configuration used for the Figure 3 comparison.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.technology import Technology, DEFAULT_TECHNOLOGY
+
+KB = 1024
+MB = 1024 * KB
+PAGE_SIZE = 4 * KB
+"""Virtual-memory page size in bytes (IRIX on MIPS uses 4 KB pages)."""
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheConfig:
+    """Geometry of one cache level."""
+
+    name: str
+    size_bytes: int
+    line_bytes: int
+    associativity: int
+    latency_cycles: int
+    write_back: bool = True
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.line_bytes <= 0 or self.associativity <= 0:
+            raise ValueError(f"cache {self.name}: all geometry fields must be positive")
+        if self.size_bytes % (self.line_bytes * self.associativity) != 0:
+            raise ValueError(
+                f"cache {self.name}: size {self.size_bytes} is not divisible by "
+                f"line size x associativity"
+            )
+        if self.line_bytes & (self.line_bytes - 1):
+            raise ValueError(f"cache {self.name}: line size must be a power of two")
+        if self.num_sets & (self.num_sets - 1):
+            raise ValueError(f"cache {self.name}: set count must be a power of two")
+
+    @property
+    def num_sets(self) -> int:
+        """Number of sets."""
+        return self.size_bytes // (self.line_bytes * self.associativity)
+
+    @property
+    def num_lines(self) -> int:
+        """Total number of cache lines."""
+        return self.size_bytes // self.line_bytes
+
+    @property
+    def tag_bits(self) -> int:
+        """Tag width assuming a 32-bit physical address space."""
+        offset_bits = self.line_bytes.bit_length() - 1
+        index_bits = self.num_sets.bit_length() - 1
+        return 32 - offset_bits - index_bits
+
+
+@dataclasses.dataclass(frozen=True)
+class TLBConfig:
+    """Unified, fully-associative, software-managed TLB (MIPS style)."""
+
+    entries: int = 64
+    page_bytes: int = PAGE_SIZE
+    software_managed: bool = True
+    """When True a miss raises a trap serviced by the kernel ``utlb``
+    handler; when False the refill is performed invisibly in hardware
+    (the ablation discussed in DESIGN.md)."""
+    hardware_refill_cycles: int = 30
+    """Refill latency charged when ``software_managed`` is False."""
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        if self.page_bytes & (self.page_bytes - 1):
+            raise ValueError("page size must be a power of two")
+
+
+@dataclasses.dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core structural parameters (MXS / R10000-like)."""
+
+    fetch_width: int = 4
+    decode_width: int = 4
+    issue_width: int = 4
+    commit_width: int = 4
+    window_size: int = 64
+    lsq_size: int = 32
+    int_registers: int = 34
+    fp_registers: int = 32
+    int_alus: int = 2
+    fp_alus: int = 2
+    bht_entries: int = 1024
+    btb_entries: int = 1024
+    ras_entries: int = 32
+    branch_mispredict_penalty: int = 4
+
+    def __post_init__(self) -> None:
+        for field in dataclasses.fields(self):
+            if getattr(self, field.name) <= 0:
+                raise ValueError(f"core parameter {field.name} must be positive")
+
+    def as_single_issue(self) -> "CoreConfig":
+        """The single-issue variant used for the Figure 3 study."""
+        return dataclasses.replace(
+            self, fetch_width=1, decode_width=1, issue_width=1, commit_width=1
+        )
+
+
+@dataclasses.dataclass(frozen=True)
+class MemoryConfig:
+    """Main-memory parameters."""
+
+    size_bytes: int = 128 * MB
+    access_latency_cycles: int = 60
+    """L2-miss to data-return latency in core cycles."""
+
+    def __post_init__(self) -> None:
+        if self.size_bytes <= 0 or self.access_latency_cycles <= 0:
+            raise ValueError("memory parameters must be positive")
+
+
+@dataclasses.dataclass(frozen=True)
+class SystemConfig:
+    """The full Table 1 system model."""
+
+    core: CoreConfig
+    l1i: CacheConfig
+    l1d: CacheConfig
+    l2: CacheConfig
+    tlb: TLBConfig
+    memory: MemoryConfig
+    technology: Technology = DEFAULT_TECHNOLOGY
+
+    @classmethod
+    def table1(cls) -> "SystemConfig":
+        """The paper's baseline configuration (Table 1)."""
+        return cls(
+            core=CoreConfig(),
+            l1i=CacheConfig(
+                name="L1I",
+                size_bytes=32 * KB,
+                line_bytes=64,
+                associativity=2,
+                latency_cycles=1,
+                write_back=False,
+            ),
+            l1d=CacheConfig(
+                name="L1D",
+                size_bytes=32 * KB,
+                line_bytes=64,
+                associativity=2,
+                latency_cycles=1,
+            ),
+            l2=CacheConfig(
+                name="L2",
+                size_bytes=1 * MB,
+                line_bytes=128,
+                associativity=2,
+                latency_cycles=8,
+            ),
+            tlb=TLBConfig(),
+            memory=MemoryConfig(),
+        )
+
+    def single_issue(self) -> "SystemConfig":
+        """The 1-wide MXS configuration used in Figure 3."""
+        return dataclasses.replace(self, core=self.core.as_single_issue())
+
+    def with_hardware_tlb(self) -> "SystemConfig":
+        """Ablation variant: hardware TLB refill, no utlb service."""
+        return dataclasses.replace(
+            self, tlb=dataclasses.replace(self.tlb, software_managed=False)
+        )

@@ -1,0 +1,163 @@
+"""Process-technology constants for the analytical power models.
+
+SoftWatt targets the MIPS R10000 design point of Table 1 in the paper:
+0.35 um feature size, 3.3 V supply, 200 MHz clock.  The analytical
+models (Kamble & Ghose for caches, Wattch-style array models, the
+Duarte clock-network model) are all capacitance-based:
+
+    E_access = 0.5 * C_switched * Vdd^2 * activity
+
+The per-unit-length and per-device capacitances below are in the range
+published for 0.35 um processes (CACTI 1/2 and the Wattch technology
+files).  Because the paper's own validation admits a deliberate margin
+("SoftWatt reports 25.3 W" against the 30 W datasheet maximum), the
+absolute magnitude of our models is anchored the same way: a single
+technology-wide calibration factor (``CALIBRATION``) is chosen so that
+the R10000 maximum-power validation of Section 2 reproduces ~25.3 W.
+All *relative* energies between units come from the geometry-driven
+models themselves.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# ---------------------------------------------------------------------------
+# Base design point (Table 1).
+# ---------------------------------------------------------------------------
+
+FEATURE_SIZE_UM: float = 0.35
+"""Process feature size in micrometres."""
+
+VDD: float = 3.3
+"""Supply voltage in volts."""
+
+CLOCK_HZ: float = 200e6
+"""Core clock frequency in hertz (200 MHz)."""
+
+CYCLE_TIME_S: float = 1.0 / CLOCK_HZ
+"""Duration of one clock cycle in seconds."""
+
+# ---------------------------------------------------------------------------
+# Capacitance constants (0.35 um class values).
+#
+# These follow the parameterisation used by CACTI and Wattch: wire
+# capacitance per micrometre of metal, plus lumped gate/diffusion
+# capacitances for the regular structures that dominate array energy.
+# ---------------------------------------------------------------------------
+
+C_METAL_PER_UM: float = 0.275e-15
+"""Wire capacitance per um of metal (farads)."""
+
+C_GATE_PER_UM_WIDTH: float = 1.95e-15
+"""Gate capacitance per um of transistor width (farads)."""
+
+C_DIFF_PER_UM_WIDTH: float = 1.25e-15
+"""Drain/source diffusion capacitance per um of transistor width."""
+
+CELL_WIDTH_UM: float = 2.5 * FEATURE_SIZE_UM * 10.0
+"""Physical width of one SRAM cell in micrometres (RAM cell pitch)."""
+
+CELL_HEIGHT_UM: float = 2.0 * FEATURE_SIZE_UM * 10.0
+"""Physical height of one SRAM cell in micrometres."""
+
+C_BITLINE_PER_CELL: float = 4.4e-15
+"""Bitline capacitance contributed by each attached cell (farads)."""
+
+C_WORDLINE_PER_CELL: float = 3.0e-15
+"""Wordline capacitance contributed by each attached cell (farads)."""
+
+C_SENSE_AMP: float = 70e-15
+"""Lumped sense-amplifier input capacitance per bitline pair."""
+
+C_PRECHARGE_PER_BITLINE: float = 30e-15
+"""Precharge driver capacitance per bitline."""
+
+C_DECODER_PER_ROW: float = 10e-15
+"""Row-decoder capacitance contribution per decoded row."""
+
+C_OUTPUT_DRIVER_PER_BIT: float = 95e-15
+"""Output driver + local data bus capacitance per bit read out."""
+
+C_TAG_COMPARATOR_PER_BIT: float = 18e-15
+"""Tag comparator XOR/match-line capacitance per compared bit."""
+
+C_CAM_MATCHLINE_PER_BIT: float = 9.5e-15
+"""CAM matchline capacitance per stored bit (associative searches)."""
+
+C_LATCH_PER_BIT: float = 14e-15
+"""Clocked latch capacitance per pipeline-latch bit (clock loading)."""
+
+C_FU_INT: float = 80e-12
+"""Lumped switched capacitance of one integer ALU operation."""
+
+C_FU_FP: float = 700e-12
+"""Lumped switched capacitance of one FP unit operation."""
+
+C_RESULT_BUS_PER_BIT_MM: float = 275e-15
+"""Result-bus wire capacitance per bit per millimetre of run
+(0.275 fF/um of metal)."""
+
+DIE_SIZE_MM: float = 16.6
+"""R10000 die edge length in millimetres (~17 x 18 mm die)."""
+
+DRAM_ENERGY_PER_ACCESS_J: float = 9.2e-9
+"""Energy per main-memory (DRAM page) access, board-level, in joules.
+
+High relative to on-chip structures, as in the paper: L2 and memory
+have a high per-access cost, which produces the steep memory-power
+ramp during cold-start misses (Section 3.2)."""
+
+CALIBRATION: float = 2.267
+"""Global technology calibration factor (see module docstring).
+
+Chosen so that ``repro.power.processor.r10000_max_power()`` reports
+approximately 25.3 W, the figure SoftWatt itself reports against the
+30 W R10000 datasheet maximum."""
+
+
+def switching_energy(capacitance_f: float, vdd: float = VDD) -> float:
+    """Return the energy in joules of one full swing of ``capacitance_f``.
+
+    The canonical CMOS dynamic-energy expression ``0.5 * C * Vdd^2``,
+    scaled by the technology calibration factor.
+    """
+    if capacitance_f < 0.0:
+        raise ValueError(f"capacitance must be non-negative, got {capacitance_f}")
+    return 0.5 * capacitance_f * vdd * vdd * CALIBRATION
+
+
+@dataclasses.dataclass(frozen=True)
+class Technology:
+    """A bundled, overridable view of the technology design point.
+
+    The defaults reproduce the paper's Table 1 design point.  Tests and
+    ablation benchmarks construct variants (e.g. a lower ``vdd``) and
+    pass them to the power models explicitly.
+    """
+
+    feature_size_um: float = FEATURE_SIZE_UM
+    vdd: float = VDD
+    clock_hz: float = CLOCK_HZ
+    calibration: float = CALIBRATION
+
+    @property
+    def cycle_time_s(self) -> float:
+        """Duration of one clock cycle in seconds."""
+        return 1.0 / self.clock_hz
+
+    def switching_energy(self, capacitance_f: float) -> float:
+        """Energy of one full swing of ``capacitance_f`` at this design point."""
+        if capacitance_f < 0.0:
+            raise ValueError(f"capacitance must be non-negative, got {capacitance_f}")
+        return 0.5 * capacitance_f * self.vdd * self.vdd * self.calibration
+
+    def energy_to_average_power(self, energy_j: float, cycles: int) -> float:
+        """Convert an energy total over ``cycles`` cycles to average watts."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        return energy_j / (cycles * self.cycle_time_s)
+
+
+DEFAULT_TECHNOLOGY = Technology()
+"""The paper's design point: 0.35 um, 3.3 V, 200 MHz."""

@@ -1,0 +1,40 @@
+"""The SoftWatt core: profiling, timeline simulation, the facade."""
+
+from repro.core.profiles import (
+    BenchmarkProfile,
+    IdleProfile,
+    PhaseProfile,
+    Profiler,
+    ServiceInvocationProfile,
+)
+from repro.core.report import (
+    MODE_ORDER,
+    BenchmarkResult,
+    CacheRates,
+    ModeRow,
+    ServiceRow,
+)
+from repro.core.softwatt import MIPSY_SPEED_FACTOR, SoftWatt
+from repro.core.timeline import (
+    TimelineResult,
+    TimelineSimulator,
+    disk_power_series,
+)
+
+__all__ = [
+    "BenchmarkProfile",
+    "IdleProfile",
+    "PhaseProfile",
+    "Profiler",
+    "ServiceInvocationProfile",
+    "MODE_ORDER",
+    "BenchmarkResult",
+    "CacheRates",
+    "ModeRow",
+    "ServiceRow",
+    "MIPSY_SPEED_FACTOR",
+    "SoftWatt",
+    "TimelineResult",
+    "TimelineSimulator",
+    "disk_power_series",
+]

@@ -1,0 +1,152 @@
+"""Annotation hooks: scriptable event observation (SimOS's TCL annotations).
+
+SimOS exposes *annotations* — user scripts attached to simulator events
+— and SoftWatt's Figure 1 routes its statistics collection through
+them.  This module is the equivalent mechanism: an
+:class:`AnnotationSet` carries callbacks for the events the timeline
+and disk models emit, letting users collect custom statistics (or build
+custom policies) without touching simulator code.
+
+Events:
+
+* ``on_phase(name, start_s, end_s)`` — a benchmark phase segment is laid
+  out on the timeline,
+* ``on_mode_switch(mode, start_s, end_s, cycles)`` — a contiguous
+  stretch of one software mode,
+* ``on_disk_request(result)`` — a disk request completed (a
+  :class:`~repro.disk.manager.DiskRequestResult`),
+* ``on_disk_transition(from_mode, to_mode, at_s)`` — the disk's
+  operating mode changed,
+* ``on_sample(record)`` — a log record was emitted.
+
+Example::
+
+    annotations = AnnotationSet()
+    spikes = []
+
+    @annotations.on_sample
+    def catch_spikes(record):
+        if record.cycles and record.counters.mem_access / record.cycles > 0.01:
+            spikes.append(record.start_s)
+
+    result = sw.run("jess", disk=1, annotations=annotations)
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable
+
+from repro.config.diskcfg import DiskMode
+from repro.disk.manager import DiskRequestResult
+from repro.kernel.modes import ExecutionMode
+from repro.stats.simlog import LogRecord
+
+PhaseHook = Callable[[str, float, float], None]
+ModeHook = Callable[[ExecutionMode, float, float, float], None]
+DiskRequestHook = Callable[[DiskRequestResult], None]
+DiskTransitionHook = Callable[[DiskMode, DiskMode, float], None]
+SampleHook = Callable[[LogRecord], None]
+
+
+@dataclasses.dataclass
+class AnnotationSet:
+    """A bundle of event callbacks (all optional).
+
+    Each ``on_*`` attribute holds a list of hooks; the decorator-style
+    methods of the same name append to them and return the function, so
+    both styles work::
+
+        annotations.on_sample_hooks.append(fn)
+
+        @annotations.on_sample
+        def fn(record): ...
+    """
+
+    on_phase_hooks: list[PhaseHook] = dataclasses.field(default_factory=list)
+    on_mode_switch_hooks: list[ModeHook] = dataclasses.field(default_factory=list)
+    on_disk_request_hooks: list[DiskRequestHook] = dataclasses.field(
+        default_factory=list)
+    on_disk_transition_hooks: list[DiskTransitionHook] = dataclasses.field(
+        default_factory=list)
+    on_sample_hooks: list[SampleHook] = dataclasses.field(default_factory=list)
+
+    # ------------------------------------------------------------------
+    # Decorator-style registration
+    # ------------------------------------------------------------------
+
+    def on_phase(self, hook: PhaseHook) -> PhaseHook:
+        """Register a phase-segment hook."""
+        self.on_phase_hooks.append(hook)
+        return hook
+
+    def on_mode_switch(self, hook: ModeHook) -> ModeHook:
+        """Register a mode-stretch hook."""
+        self.on_mode_switch_hooks.append(hook)
+        return hook
+
+    def on_disk_request(self, hook: DiskRequestHook) -> DiskRequestHook:
+        """Register a disk-request-completion hook."""
+        self.on_disk_request_hooks.append(hook)
+        return hook
+
+    def on_disk_transition(self, hook: DiskTransitionHook) -> DiskTransitionHook:
+        """Register a disk mode-transition hook."""
+        self.on_disk_transition_hooks.append(hook)
+        return hook
+
+    def on_sample(self, hook: SampleHook) -> SampleHook:
+        """Register a log-record hook."""
+        self.on_sample_hooks.append(hook)
+        return hook
+
+    # ------------------------------------------------------------------
+    # Emission (called by the timeline)
+    # ------------------------------------------------------------------
+
+    def emit_phase(self, name: str, start_s: float, end_s: float) -> None:
+        """Fire the phase hooks."""
+        for hook in self.on_phase_hooks:
+            hook(name, start_s, end_s)
+
+    def emit_mode_switch(
+        self, mode: ExecutionMode, start_s: float, end_s: float, cycles: float
+    ) -> None:
+        """Fire the mode-stretch hooks."""
+        for hook in self.on_mode_switch_hooks:
+            hook(mode, start_s, end_s, cycles)
+
+    def emit_disk_request(self, result: DiskRequestResult) -> None:
+        """Fire the disk-request hooks."""
+        for hook in self.on_disk_request_hooks:
+            hook(result)
+
+    def emit_disk_transitions(
+        self, history: list[tuple[float, float, DiskMode]], from_index: int
+    ) -> int:
+        """Fire transition hooks for new history entries; returns the
+        new high-water index."""
+        if self.on_disk_transition_hooks:
+            for index in range(max(1, from_index), len(history)):
+                previous_mode = history[index - 1][2]
+                start, _end, mode = history[index]
+                if mode is not previous_mode:
+                    for hook in self.on_disk_transition_hooks:
+                        hook(previous_mode, mode, start)
+        return len(history)
+
+    def emit_sample(self, record: LogRecord) -> None:
+        """Fire the sample hooks."""
+        for hook in self.on_sample_hooks:
+            hook(record)
+
+    @property
+    def empty(self) -> bool:
+        """True when no hooks are registered."""
+        return not (
+            self.on_phase_hooks
+            or self.on_mode_switch_hooks
+            or self.on_disk_request_hooks
+            or self.on_disk_transition_hooks
+            or self.on_sample_hooks
+        )

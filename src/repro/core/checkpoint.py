@@ -1,0 +1,215 @@
+"""Profile checkpoints: persist detailed-simulation state to disk.
+
+The paper's methodology leans on checkpoints — "the file-caches were
+warmed and a checkpoint was taken before the program was loaded"
+(Section 3.1) — so that the expensive part of simulation runs once.
+The expensive part of *this* reproduction is the detailed cycle-level
+profiling; this module serialises its results (benchmark profiles and
+per-invocation service profiles) to JSON so later sessions can sweep
+disk policies, sample intervals, or report formats without
+re-simulating.
+
+Format: a single JSON document, versioned; counters are stored as plain
+dicts, per-label stats keyed by label (``"__user__"`` stands for the
+``None`` user label, which JSON cannot key).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import pathlib
+
+from repro.core.profiles import (
+    BenchmarkProfile,
+    IdleProfile,
+    PhaseProfile,
+    ServiceInvocationProfile,
+)
+from repro.config.system import SystemConfig
+from repro.cpu.branch import BranchStats
+from repro.cpu.runstats import LabelStats, RunStats
+from repro.stats.counters import AccessCounters
+from repro.workloads.specjvm98 import BenchmarkSpec, benchmark
+
+CHECKPOINT_VERSION = 1
+_USER_KEY = "__user__"
+
+
+class CheckpointError(RuntimeError):
+    """Raised when a checkpoint cannot be read back."""
+
+
+# ---------------------------------------------------------------------------
+# Encoding
+# ---------------------------------------------------------------------------
+
+def _encode_counters(counters: AccessCounters) -> dict:
+    return {name: value for name, value in counters.items() if value}
+
+
+def _decode_counters(data: dict) -> AccessCounters:
+    counters = AccessCounters()
+    for name, value in data.items():
+        if not hasattr(counters, name):
+            raise CheckpointError(f"unknown counter {name!r} in checkpoint")
+        setattr(counters, name, value)
+    return counters
+
+
+def _encode_label_stats(stats: LabelStats) -> dict:
+    return {
+        "cycles": stats.cycles,
+        "instr_cycles": stats.instr_cycles,
+        "stall_cycles": stats.stall_cycles,
+        "instructions": stats.instructions,
+        "counters": _encode_counters(stats.counters),
+    }
+
+
+def _decode_label_stats(data: dict) -> LabelStats:
+    return LabelStats(
+        cycles=data["cycles"],
+        instr_cycles=data["instr_cycles"],
+        stall_cycles=data["stall_cycles"],
+        instructions=data["instructions"],
+        counters=_decode_counters(data["counters"]),
+    )
+
+
+def _encode_run_stats(stats: RunStats) -> dict:
+    return {
+        "cycles": stats.cycles,
+        "instructions": stats.instructions,
+        "traps": stats.traps,
+        "branch": dataclasses.asdict(stats.branch),
+        "labels": {
+            (label if label is not None else _USER_KEY): _encode_label_stats(s)
+            for label, s in stats.labels.items()
+        },
+    }
+
+
+def _decode_run_stats(data: dict) -> RunStats:
+    stats = RunStats(
+        cycles=data["cycles"],
+        instructions=data["instructions"],
+        traps=data["traps"],
+        branch=BranchStats(**data["branch"]),
+    )
+    for label, payload in data["labels"].items():
+        key = None if label == _USER_KEY else label
+        stats.labels[key] = _decode_label_stats(payload)
+    return stats
+
+
+def _encode_phase(profile: PhaseProfile) -> dict:
+    return {
+        "phase": profile.phase.name,
+        "chunks": [_encode_run_stats(chunk) for chunk in profile.chunks],
+        "invocations": profile.invocations,
+    }
+
+
+def _encode_service(profile: ServiceInvocationProfile) -> dict:
+    return {
+        "service": profile.service,
+        "cycles": profile.cycles,
+        "energies_j": profile.energies_j,
+        "category_energy_j": profile.category_energy_j,
+        "mean_counters": _encode_counters(profile.mean_counters),
+        "instructions_per_invocation": profile.instructions_per_invocation,
+    }
+
+
+def _decode_service(data: dict) -> ServiceInvocationProfile:
+    return ServiceInvocationProfile(
+        service=data["service"],
+        cycles=data["cycles"],
+        energies_j=data["energies_j"],
+        category_energy_j=data["category_energy_j"],
+        mean_counters=_decode_counters(data["mean_counters"]),
+        instructions_per_invocation=data["instructions_per_invocation"],
+    )
+
+
+# ---------------------------------------------------------------------------
+# Public API
+# ---------------------------------------------------------------------------
+
+def save_checkpoint(
+    path: str | pathlib.Path,
+    *,
+    profiles: dict[str, BenchmarkProfile],
+    service_profiles: dict[str, ServiceInvocationProfile] | None = None,
+    cpu_model: str = "mxs",
+) -> None:
+    """Write benchmark and service profiles to ``path`` as JSON."""
+    document = {
+        "version": CHECKPOINT_VERSION,
+        "cpu_model": cpu_model,
+        "benchmarks": {
+            name: {
+                "spec": profile.spec.name,
+                "cpu_model": profile.cpu_model,
+                "phases": {
+                    phase_name: _encode_phase(phase)
+                    for phase_name, phase in profile.phases.items()
+                },
+                "idle": _encode_run_stats(profile.idle.stats),
+            }
+            for name, profile in profiles.items()
+        },
+        "services": {
+            name: _encode_service(profile)
+            for name, profile in (service_profiles or {}).items()
+        },
+    }
+    pathlib.Path(path).write_text(json.dumps(document))
+
+
+def load_checkpoint(
+    path: str | pathlib.Path,
+    *,
+    config: SystemConfig | None = None,
+) -> tuple[dict[str, BenchmarkProfile], dict[str, ServiceInvocationProfile], str]:
+    """Read ``path`` back; returns (profiles, service profiles, cpu model).
+
+    Specs are re-resolved from the benchmark registry by name, so a
+    checkpoint stays valid across sessions as long as the named
+    benchmarks exist.
+    """
+    config = config if config is not None else SystemConfig.table1()
+    try:
+        document = json.loads(pathlib.Path(path).read_text())
+    except (OSError, json.JSONDecodeError) as error:
+        raise CheckpointError(f"cannot read checkpoint {path}: {error}") from error
+    if document.get("version") != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"checkpoint version {document.get('version')!r} is not "
+            f"{CHECKPOINT_VERSION}"
+        )
+    profiles: dict[str, BenchmarkProfile] = {}
+    for name, payload in document.get("benchmarks", {}).items():
+        spec: BenchmarkSpec = benchmark(payload["spec"])
+        phases = {}
+        for phase_name, phase_payload in payload["phases"].items():
+            phases[phase_name] = PhaseProfile(
+                phase=spec.phases.phase(phase_name),
+                chunks=[
+                    _decode_run_stats(chunk) for chunk in phase_payload["chunks"]
+                ],
+                invocations=phase_payload["invocations"],
+            )
+        profiles[name] = BenchmarkProfile(
+            spec=spec,
+            cpu_model=payload["cpu_model"],
+            phases=phases,
+            idle=IdleProfile(stats=_decode_run_stats(payload["idle"])),
+            config=config,
+        )
+    services = {
+        name: _decode_service(payload)
+        for name, payload in document.get("services", {}).items()
+    }
+    return profiles, services, document.get("cpu_model", "mxs")

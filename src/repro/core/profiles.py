@@ -1,0 +1,303 @@
+"""Detailed-window profiling: cycle-level simulation -> per-cycle rates.
+
+The first half of the SoftWatt two-level methodology (DESIGN.md §2):
+for every benchmark phase, run the interleaved workload (user code +
+scheduled kernel activity + emergent utlb traps) on a cycle-level CPU
+model and record per-label cycles and unit-access counters.  Phases run
+*sequentially on one machine state*, so the startup phase executes with
+cold caches (the paper's cold-start memory-power ramp) and later phases
+inherit warmed state.
+
+Each phase is measured in several sequential *chunks*; the chunk
+sequence preserves within-phase ramps (cold -> warm) that the timeline
+stitches back into the sampled log.
+
+Per-invocation kernel-service profiles (Table 5 / Figure 8) are
+measured separately by running isolated invocations against a
+persistent machine state.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import statistics
+
+from repro.config.system import SystemConfig
+from repro.cpu.mipsy import MipsyProcessor
+from repro.cpu.mxs import MXSProcessor
+from repro.cpu.runstats import RunStats
+from repro.isa.generators import SyntheticCodeGenerator
+from repro.kernel.idle import idle_loop
+from repro.kernel.kernel import Kernel
+from repro.kernel.modes import ExecutionMode, mode_of_label
+from repro.kernel.scheduler import InterleavedWorkload
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.power.processor import ProcessorPowerModel
+from repro.stats.counters import AccessCounters
+from repro.workloads.jvm import PhaseSpec
+from repro.workloads.specjvm98 import BenchmarkSpec
+
+CPU_MODELS = ("mxs", "mipsy")
+
+
+def make_cpu(model: str, config: SystemConfig, hierarchy, trap_client):
+    """Instantiate a CPU model by name."""
+    if model == "mxs":
+        return MXSProcessor(config, hierarchy, trap_client=trap_client)
+    if model == "mipsy":
+        return MipsyProcessor(config, hierarchy, trap_client=trap_client)
+    raise ValueError(f"unknown CPU model {model!r}; choose from {CPU_MODELS}")
+
+
+@dataclasses.dataclass
+class PhaseProfile:
+    """Measured behaviour of one benchmark phase."""
+
+    phase: PhaseSpec
+    chunks: list[RunStats]
+    invocations: dict[str, int]
+    """Kernel-service invocations observed in the window (including the
+    emergent utlb count)."""
+
+    @property
+    def aggregate(self) -> RunStats:
+        """All chunks merged."""
+        merged = self.chunks[0]
+        for chunk in self.chunks[1:]:
+            merged = merged.merged(chunk)
+        return merged
+
+    def mode_cycles(self) -> dict[ExecutionMode, float]:
+        """Cycles per software mode in the measured window."""
+        totals = {mode: 0.0 for mode in ExecutionMode}
+        for label, stats in self.aggregate.labels.items():
+            totals[mode_of_label(label)] += stats.cycles
+        return totals
+
+
+@dataclasses.dataclass
+class IdleProfile:
+    """Measured behaviour of the idle process."""
+
+    stats: RunStats
+
+    def rates(self) -> AccessCounters:
+        """Counters of the window (normalise by ``stats.cycles``)."""
+        return self.stats.total_counters()
+
+
+@dataclasses.dataclass
+class ServiceInvocationProfile:
+    """Per-invocation statistics for one kernel service (Table 5)."""
+
+    service: str
+    cycles: list[float]
+    energies_j: list[float]
+    category_energy_j: dict[str, float]
+    """Mean energy per invocation, split by power category (Figure 8)."""
+    mean_counters: AccessCounters = dataclasses.field(default_factory=AccessCounters)
+    """Mean per-invocation unit-access counts (for timeline scheduling)."""
+    instructions_per_invocation: float = 0.0
+
+    @property
+    def invocations(self) -> int:
+        """Number of measured invocations."""
+        return len(self.cycles)
+
+    @property
+    def mean_energy_j(self) -> float:
+        """Mean energy per invocation."""
+        return statistics.fmean(self.energies_j)
+
+    @property
+    def mean_cycles(self) -> float:
+        """Mean cycles per invocation."""
+        return statistics.fmean(self.cycles)
+
+    @property
+    def coefficient_of_deviation(self) -> float:
+        """Standard deviation over mean, as a percentage (Table 5)."""
+        if len(self.energies_j) < 2:
+            return 0.0
+        mean = self.mean_energy_j
+        if mean == 0.0:
+            return 0.0
+        return statistics.stdev(self.energies_j) / mean * 100.0
+
+    def average_power_w(self, cycle_time_s: float) -> float:
+        """Average power while the service runs (Figure 8)."""
+        if self.mean_cycles == 0:
+            return 0.0
+        return self.mean_energy_j / (self.mean_cycles * cycle_time_s)
+
+
+@dataclasses.dataclass
+class BenchmarkProfile:
+    """All measured windows for one benchmark on one CPU model."""
+
+    spec: BenchmarkSpec
+    cpu_model: str
+    phases: dict[str, PhaseProfile]
+    idle: IdleProfile
+    config: SystemConfig
+
+    def phase_profile(self, name: str) -> PhaseProfile:
+        """The profile of the named phase."""
+        return self.phases[name]
+
+
+class Profiler:
+    """Runs the detailed windows for benchmarks, idle, and services."""
+
+    def __init__(
+        self,
+        config: SystemConfig | None = None,
+        *,
+        cpu_model: str = "mxs",
+        window_instructions: int = 60_000,
+        startup_chunks: int = 4,
+        steady_chunks: int = 2,
+        seed: int = 0,
+    ) -> None:
+        self.config = config if config is not None else SystemConfig.table1()
+        if cpu_model not in CPU_MODELS:
+            raise ValueError(f"unknown CPU model {cpu_model!r}")
+        if window_instructions < 1000:
+            raise ValueError("windows below 1000 instructions are meaningless")
+        self.cpu_model = cpu_model
+        self.window_instructions = window_instructions
+        self.startup_chunks = startup_chunks
+        self.steady_chunks = steady_chunks
+        self.seed = seed
+
+    # ------------------------------------------------------------------
+    # Benchmark phases
+    # ------------------------------------------------------------------
+
+    def profile_benchmark(self, spec: BenchmarkSpec) -> BenchmarkProfile:
+        """Measure every phase of ``spec`` sequentially (cold start)."""
+        config = self.config
+        counters = AccessCounters()
+        hierarchy = MemoryHierarchy(config, counters)
+        kernel = Kernel(config, hierarchy, seed=spec.seed ^ self.seed)
+        # The paper warms the file caches and checkpoints before
+        # profiling; class files are NOT pre-cached (their loads are the
+        # initial idle periods), but the benchmark's data files are.
+        for file_id in range(8):
+            kernel.file_cache.warm(file_id, 512 * 1024)
+        cpu = make_cpu(self.cpu_model, config, hierarchy, kernel)
+
+        phases: dict[str, PhaseProfile] = {}
+        seen_invocations: dict[str, int] = {}
+        for phase in spec.phases.phases:
+            chunk_count = (
+                self.startup_chunks if phase.cold_caches else self.steady_chunks
+            )
+            instructions = max(
+                2000, int(self.window_instructions * phase.compute_fraction)
+            )
+            generator = SyntheticCodeGenerator(
+                phase.signature, seed=spec.seed ^ self.seed
+            )
+            workload = InterleavedWorkload(
+                generator,
+                kernel,
+                service_rates=phase.service_rates,
+                syscalls=phase.syscalls,
+                sync_mean_gap=phase.sync_mean_gap,
+                seed=spec.seed ^ self.seed ^ 0xF00D,
+            )
+            stream = iter(workload)
+            chunks = []
+            per_chunk = max(500, instructions // chunk_count)
+            for _ in range(chunk_count):
+                chunks.append(cpu.run(stream, max_instructions=per_chunk))
+            delta = {
+                name: count - seen_invocations.get(name, 0)
+                for name, count in kernel.invocations.items()
+            }
+            delta["utlb"] = sum(chunk.traps for chunk in chunks)
+            seen_invocations = dict(kernel.invocations)
+            phases[phase.name] = PhaseProfile(
+                phase=phase,
+                chunks=chunks,
+                invocations={k: v for k, v in delta.items() if v > 0},
+            )
+        idle = self.profile_idle()
+        return BenchmarkProfile(
+            spec=spec,
+            cpu_model=self.cpu_model,
+            phases=phases,
+            idle=idle,
+            config=config,
+        )
+
+    # ------------------------------------------------------------------
+    # Idle process
+    # ------------------------------------------------------------------
+
+    def profile_idle(self, iterations: int | None = None) -> IdleProfile:
+        """Measure the idle process (workload-independent, Section 3.3)."""
+        if iterations is None:
+            iterations = max(2000, self.window_instructions // 12)
+        hierarchy = MemoryHierarchy(self.config, AccessCounters())
+        cpu = make_cpu(self.cpu_model, self.config, hierarchy, None)
+        # Warm pass: the idle loop's two cache lines and its code.
+        cpu.run(idle_loop(64))
+        stats = cpu.run(idle_loop(iterations))
+        return IdleProfile(stats=stats)
+
+    # ------------------------------------------------------------------
+    # Per-invocation service profiles
+    # ------------------------------------------------------------------
+
+    def profile_service(
+        self,
+        service: str,
+        model: ProcessorPowerModel,
+        *,
+        invocations: int = 60,
+        warmup: int = 6,
+        seed: int | None = None,
+    ) -> ServiceInvocationProfile:
+        """Measure per-invocation cycles and energy for one service."""
+        if invocations < 2:
+            raise ValueError("need at least two invocations for a deviation")
+        config = self.config
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        kernel = Kernel(config, hierarchy, seed=self.seed if seed is None else seed)
+        cpu = make_cpu(self.cpu_model, config, hierarchy, kernel)
+        cycles: list[float] = []
+        energies: list[float] = []
+        category_totals: dict[str, float] = {}
+        counter_totals = AccessCounters()
+        instruction_total = 0
+        for index in range(warmup + invocations):
+            body = kernel.invoke_service(service)
+            stats = cpu.run(body)
+            if index < warmup:
+                continue
+            run_cycles = max(1, stats.cycles)
+            counters = stats.total_counters()
+            energies_by_cat = model.energy_by_category(counters, run_cycles)
+            total = sum(energies_by_cat.values())
+            cycles.append(float(run_cycles))
+            energies.append(total)
+            counter_totals.add(counters)
+            instruction_total += stats.instructions
+            for name, value in energies_by_cat.items():
+                category_totals[name] = category_totals.get(name, 0.0) + value
+        mean_categories = {
+            name: value / invocations for name, value in category_totals.items()
+        }
+        mean_counters = AccessCounters()
+        for name, value in counter_totals.items():
+            setattr(mean_counters, name, value // invocations)
+        return ServiceInvocationProfile(
+            service=service,
+            cycles=cycles,
+            energies_j=energies,
+            category_energy_j=mean_categories,
+            mean_counters=mean_counters,
+            instructions_per_invocation=instruction_total / invocations,
+        )

@@ -1,0 +1,19 @@
+"""CPU models: MXS (out-of-order superscalar) and Mipsy (in-order)."""
+
+from repro.cpu.branch import BranchPredictor, BranchStats
+from repro.cpu.interfaces import UTLB_HANDLER_PC, InlineRefillClient, TrapClient
+from repro.cpu.mipsy import MipsyProcessor
+from repro.cpu.mxs import MXSProcessor
+from repro.cpu.runstats import LabelStats, RunStats
+
+__all__ = [
+    "BranchPredictor",
+    "BranchStats",
+    "UTLB_HANDLER_PC",
+    "InlineRefillClient",
+    "TrapClient",
+    "MipsyProcessor",
+    "MXSProcessor",
+    "LabelStats",
+    "RunStats",
+]

@@ -1,0 +1,61 @@
+"""CPU <-> kernel trap interface.
+
+On MIPS the TLB is software managed: a miss traps to the operating
+system, whose ``utlb`` handler performs the translation, reloads the
+TLB, and restarts the faulting access (Section 3.3).  The CPU models
+are decoupled from the kernel through this small interface: when a
+translation misses, the CPU asks its :class:`TrapClient` for the
+handler's instruction stream, executes it inline (in kernel address
+space, which bypasses the TLB), performs the refill, and retries.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Protocol
+
+from repro.isa.instruction import Instruction, OpClass
+from repro.mem.hierarchy import KSEG_BASE
+
+UTLB_HANDLER_PC = KSEG_BASE + 0x180
+"""Exception vector of the fast TLB-refill handler (kernel space)."""
+
+
+class TrapClient(Protocol):
+    """Supplies kernel handler code for CPU-detected traps."""
+
+    def utlb_handler(self, faulting_address: int) -> Iterable[Instruction]:
+        """Instruction stream of the TLB-refill handler for one miss."""
+
+
+class InlineRefillClient:
+    """Minimal stand-alone trap client (used when no kernel is attached).
+
+    Emits a fixed handler body in kernel space: context save, page-table
+    walk (one kernel-space load of the PTE), TLB write, and exception
+    return.  The full kernel model in :mod:`repro.kernel.services`
+    supersedes this with a richer, service-accounted handler.
+    """
+
+    PTE_BASE = KSEG_BASE + 0x0100_0000
+
+    def utlb_handler(self, faulting_address: int) -> Iterable[Instruction]:
+        pc = UTLB_HANDLER_PC
+        pte_address = self.PTE_BASE + ((faulting_address >> 12) & 0xFFFF) * 8
+        service = "utlb"
+        body = [
+            Instruction(pc=pc, op=OpClass.IALU, dest=26, srcs=(0,), service=service),
+            Instruction(pc=pc + 4, op=OpClass.IALU, dest=27, srcs=(26,), service=service),
+            Instruction(
+                pc=pc + 8,
+                op=OpClass.LOAD,
+                dest=26,
+                srcs=(27,),
+                address=pte_address,
+                size=8,
+                service=service,
+            ),
+            Instruction(pc=pc + 12, op=OpClass.IALU, dest=27, srcs=(26,), service=service),
+            Instruction(pc=pc + 16, op=OpClass.IALU, dest=26, srcs=(27,), service=service),
+            Instruction(pc=pc + 20, op=OpClass.ERET, taken=True, target=0, service=service),
+        ]
+        return body

@@ -1,0 +1,96 @@
+"""Run statistics shared by the CPU models.
+
+A run produces total cycle/instruction counts plus a per-*label*
+decomposition, where a label is the kernel-service name carried by each
+instruction (``None`` for user code).  This is the raw material for the
+paper's mode and service accounting: the timeline and report layers map
+labels onto the four software modes (user / kernel / sync / idle) and
+onto the named kernel services of Section 3.3.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.cpu.branch import BranchStats
+from repro.stats.counters import AccessCounters
+
+USER_LABEL: str | None = None
+"""Label carried by user-mode instructions."""
+
+
+@dataclasses.dataclass
+class LabelStats:
+    """Per-label (per-service) accounting."""
+
+    cycles: float = 0.0
+    instr_cycles: float = 0.0
+    """Cycles attributable to useful commit bandwidth."""
+    stall_cycles: float = 0.0
+    """Cycles the commit stage waited (miss/dependence/mispredict)."""
+    instructions: int = 0
+    counters: AccessCounters = dataclasses.field(default_factory=AccessCounters)
+
+    @property
+    def ipc(self) -> float:
+        """Instructions per cycle within this label (0.0 when empty)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+
+@dataclasses.dataclass
+class RunStats:
+    """Results of one detailed CPU simulation."""
+
+    cycles: int = 0
+    instructions: int = 0
+    labels: dict[str | None, LabelStats] = dataclasses.field(default_factory=dict)
+    branch: BranchStats = dataclasses.field(default_factory=BranchStats)
+    traps: int = 0
+    """Number of TLB-miss traps taken (software-managed TLB)."""
+
+    def label(self, name: str | None) -> LabelStats:
+        """The stats bucket for ``name``, created on demand."""
+        bucket = self.labels.get(name)
+        if bucket is None:
+            bucket = LabelStats()
+            self.labels[name] = bucket
+        return bucket
+
+    @property
+    def ipc(self) -> float:
+        """Whole-run instructions per cycle (0.0 when empty)."""
+        if self.cycles <= 0:
+            return 0.0
+        return self.instructions / self.cycles
+
+    def total_counters(self) -> AccessCounters:
+        """Sum of all labels' counters."""
+        total = AccessCounters()
+        for stats in self.labels.values():
+            total.add(stats.counters)
+        return total
+
+    def merged(self, other: "RunStats") -> "RunStats":
+        """A new RunStats combining this run and ``other``."""
+        result = RunStats(
+            cycles=self.cycles + other.cycles,
+            instructions=self.instructions + other.instructions,
+            traps=self.traps + other.traps,
+        )
+        for source in (self, other):
+            for name, stats in source.labels.items():
+                bucket = result.label(name)
+                bucket.cycles += stats.cycles
+                bucket.instr_cycles += stats.instr_cycles
+                bucket.stall_cycles += stats.stall_cycles
+                bucket.instructions += stats.instructions
+                bucket.counters.add(stats.counters)
+        for field in dataclasses.fields(BranchStats):
+            setattr(
+                result.branch,
+                field.name,
+                getattr(self.branch, field.name) + getattr(other.branch, field.name),
+            )
+        return result

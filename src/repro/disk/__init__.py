@@ -1,0 +1,29 @@
+"""Disk subsystem: HP97560-class mechanism + MK3003MAN power modes."""
+
+from repro.disk.adaptive import (
+    BREAK_EVEN_IDLE_S,
+    AdaptiveSpinDownDisk,
+    adaptive_policy,
+)
+from repro.disk.geometry import DiskMechanism, RequestTiming
+from repro.disk.manager import DiskRequestResult, PowerManagedDisk
+from repro.disk.power import DiskEnergyAccountant
+from repro.disk.states import (
+    DiskStateMachine,
+    IllegalDiskTransition,
+    transition_time_s,
+)
+
+__all__ = [
+    "BREAK_EVEN_IDLE_S",
+    "AdaptiveSpinDownDisk",
+    "adaptive_policy",
+    "DiskMechanism",
+    "RequestTiming",
+    "DiskRequestResult",
+    "PowerManagedDisk",
+    "DiskEnergyAccountant",
+    "DiskStateMachine",
+    "IllegalDiskTransition",
+    "transition_time_s",
+]

@@ -1,0 +1,124 @@
+"""Adaptive spin-down: the policy family the paper builds on.
+
+Section 4 cites the adaptive disk spin-down literature [Douglis &
+Krishnan 95; Lu & De Micheli 99] and closes with the design rule that a
+spin-down only pays when the coming idle period greatly exceeds the
+spin transition time.  Fixed thresholds (the paper's configurations 3
+and 4) get this wrong whenever workload behaviour shifts — compress's
+2.4 s gaps ruin a 2 s threshold — so the natural extension is a
+threshold that *learns*.
+
+:class:`AdaptiveSpinDownDisk` implements the classic multiplicative
+adaptation: after a spin-down that turns out to be premature (the next
+request arrives before the STANDBY residence could have amortised the
+21 J spin-up), the threshold doubles; after a spin-down that pays off,
+it decays back toward the aggressive floor.
+"""
+
+from __future__ import annotations
+
+from repro.config.diskcfg import (
+    MK3003MAN_POWER_W,
+    SPINDOWN_TIME_S,
+    SPINUP_TIME_S,
+    DiskGeometry,
+    DiskMode,
+    DiskPowerPolicy,
+)
+from repro.disk.manager import DiskRequestResult, PowerManagedDisk
+
+#: Idle time whose IDLE-vs-STANDBY saving equals one spin-up's energy:
+#: below this, spinning down can never win.
+BREAK_EVEN_IDLE_S = (
+    SPINUP_TIME_S * MK3003MAN_POWER_W[DiskMode.SPINUP]
+    / (MK3003MAN_POWER_W[DiskMode.IDLE] - MK3003MAN_POWER_W[DiskMode.STANDBY])
+)
+
+
+def adaptive_policy(initial_threshold_s: float = 2.0) -> DiskPowerPolicy:
+    """A policy record for an adaptive disk (threshold is the start value)."""
+    return DiskPowerPolicy(
+        name=f"adaptive-{initial_threshold_s:g}s",
+        spindown_threshold_s=initial_threshold_s,
+    )
+
+
+class AdaptiveSpinDownDisk(PowerManagedDisk):
+    """A power-managed disk whose spin-down threshold adapts online.
+
+    * a *premature* spin-down (the request arrived while spinning down,
+      or within the break-even STANDBY residence) doubles the threshold,
+    * a *successful* one (STANDBY held past break-even) multiplies it by
+      ``decay`` (< 1), drifting back toward ``floor_s``.
+    """
+
+    def __init__(
+        self,
+        initial_threshold_s: float = 2.0,
+        geometry: DiskGeometry | None = None,
+        seed: int = 0,
+        *,
+        floor_s: float = 0.5,
+        ceiling_s: float = 60.0,
+        decay: float = 0.8,
+    ) -> None:
+        if initial_threshold_s <= 0 or floor_s <= 0:
+            raise ValueError("thresholds must be positive")
+        if not floor_s <= initial_threshold_s <= ceiling_s:
+            raise ValueError("need floor <= initial threshold <= ceiling")
+        if not 0.0 < decay < 1.0:
+            raise ValueError(f"decay must be in (0, 1), got {decay}")
+        super().__init__(adaptive_policy(initial_threshold_s), geometry, seed)
+        self.floor_s = floor_s
+        self.ceiling_s = ceiling_s
+        self.decay = decay
+        self.adaptations: list[tuple[float, float]] = []
+        """(time, new threshold) after every adjustment."""
+        self._standby_entered_s: float | None = None
+
+    @property
+    def threshold_s(self) -> float:
+        """The current spin-down threshold."""
+        assert self._threshold_s is not None
+        return self._threshold_s
+
+    def _adjust(self, new_threshold: float) -> None:
+        clamped = min(self.ceiling_s, max(self.floor_s, new_threshold))
+        if clamped != self._threshold_s:
+            self._threshold_s = clamped
+            self.adaptations.append((self._clock_s, clamped))
+
+    def request(
+        self,
+        arrival_s: float,
+        nbytes: int,
+        *,
+        cylinder: int | None = None,
+    ) -> DiskRequestResult:
+        """Service a request, then adapt the threshold to its outcome."""
+        spindowns_before = self.state.spindowns
+        result = super().request(arrival_s, nbytes, cylinder=cylinder)
+        # Any spin-down happened during super().request's internal time
+        # advance, so the STANDBY entry time is read afterwards.
+        standby_since = self._standby_entered_s
+        if result.spinup_penalty_s > 0.0:
+            if standby_since is None or standby_since > result.start_s:
+                # Caught mid-spin-down: unambiguously premature.
+                self._adjust(self.threshold_s * 2.0)
+            else:
+                residence = result.start_s - standby_since
+                if residence < BREAK_EVEN_IDLE_S:
+                    self._adjust(self.threshold_s * 2.0)
+                else:
+                    self._adjust(self.threshold_s * self.decay)
+            self._standby_entered_s = None
+        elif self.state.spindowns > spindowns_before:
+            self._standby_entered_s = self._clock_s
+        return result
+
+    def advance(self, to_s: float) -> None:
+        """Advance time, recording when STANDBY is entered."""
+        spindowns_before = self.state.spindowns
+        super().advance(to_s)
+        if self.state.spindowns > spindowns_before:
+            self._standby_entered_s = self._spindown_end_s

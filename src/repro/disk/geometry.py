@@ -1,0 +1,105 @@
+"""Disk mechanism timing model (HP97560-class, as in SimOS).
+
+SoftWatt layers the Toshiba power-mode state machine on top of the
+existing SimOS disk simulator, which supplies the *timing* of each
+operation — in particular "the time taken for the seek operation is
+reported by the disk simulator of SimOS" and is used to integrate SEEK
+energy (Section 2).  This module plays that role: it converts a request
+(cylinder distance, transfer size) into seek, rotation, and transfer
+durations.
+
+The seek curve is the standard piecewise model fitted to measured
+HP97560 data: a square-root region for short seeks and a linear region
+for long ones.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+import random
+
+from repro.config.diskcfg import DiskGeometry
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class RequestTiming:
+    """Durations (seconds) of the phases of one disk request."""
+
+    seek_s: float
+    rotation_s: float
+    transfer_s: float
+
+    @property
+    def service_s(self) -> float:
+        """Total media service time."""
+        return self.seek_s + self.rotation_s + self.transfer_s
+
+
+class DiskMechanism:
+    """Seek/rotate/transfer timing for one disk geometry."""
+
+    def __init__(self, geometry: DiskGeometry | None = None, seed: int = 0) -> None:
+        self.geometry = geometry if geometry is not None else DiskGeometry()
+        self._rng = random.Random(seed)
+        self._head_cylinder = 0
+
+    def seek_time_s(self, distance_cylinders: int) -> float:
+        """Seek duration for a head move of ``distance_cylinders``.
+
+        Zero distance costs nothing (the request hits the current
+        track); otherwise the piecewise sqrt/linear curve interpolates
+        between the minimum and maximum seek times.
+        """
+        if distance_cylinders < 0:
+            raise ValueError(f"seek distance cannot be negative: {distance_cylinders}")
+        if distance_cylinders == 0:
+            return 0.0
+        geometry = self.geometry
+        max_distance = geometry.cylinders - 1
+        fraction = min(1.0, distance_cylinders / max_distance)
+        knee = 0.3
+        min_s = geometry.min_seek_ms / 1e3
+        avg_s = geometry.avg_seek_ms / 1e3
+        max_s = geometry.max_seek_ms / 1e3
+        if fraction <= knee:
+            # Short seeks: acceleration-limited, sqrt shape up to ~avg.
+            return min_s + (avg_s - min_s) * math.sqrt(fraction / knee)
+        # Long seeks: coast-limited, linear up to max.
+        return avg_s + (max_s - avg_s) * (fraction - knee) / (1.0 - knee)
+
+    def request_timing(
+        self,
+        nbytes: int,
+        *,
+        cylinder: int | None = None,
+    ) -> RequestTiming:
+        """Timing for a request transferring ``nbytes``.
+
+        ``cylinder`` fixes the target cylinder; when omitted, a target
+        is drawn uniformly (deterministically per seed).  Rotational
+        latency is the expected half rotation.
+        """
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        geometry = self.geometry
+        if cylinder is None:
+            cylinder = self._rng.randrange(geometry.cylinders)
+        elif not 0 <= cylinder < geometry.cylinders:
+            raise ValueError(f"cylinder {cylinder} out of range")
+        distance = abs(cylinder - self._head_cylinder)
+        self._head_cylinder = cylinder
+        seek_s = self.seek_time_s(distance)
+        rotation_s = geometry.rotation_time_s / 2.0
+        transfer_s = nbytes / geometry.transfer_rate_bytes_per_s
+        overhead_s = geometry.controller_overhead_ms / 1e3
+        return RequestTiming(
+            seek_s=seek_s + overhead_s,
+            rotation_s=rotation_s,
+            transfer_s=transfer_s,
+        )
+
+    @property
+    def head_cylinder(self) -> int:
+        """Current head position."""
+        return self._head_cylinder

@@ -1,0 +1,211 @@
+"""The power-managed disk: mechanism + state machine + policy.
+
+This is the layer SoftWatt added on top of the SimOS HP97560 model to
+simulate the Toshiba MK3003MAN (Section 2), together with the four
+power-management configurations evaluated in Section 4:
+
+1. *conventional* — no mode transitions; the disk consumes ACTIVE power
+   whenever it is not seeking (the Section 3 baseline and the upper
+   bound on disk power),
+2. *idle-only* — drops to IDLE immediately after each request (zero
+   time, zero cost), spins back up to ACTIVE through a seek,
+3/4. *spindown* — additionally spins down to STANDBY after a threshold
+   of disk inactivity; a request arriving in STANDBY pays a 5 s,
+   4.2 W spin-up before it can be serviced.
+
+Requests are synchronous and ordered in time, matching the single
+profiled workload of the paper (the requesting process blocks and the
+idle process runs on the CPU while the disk works).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.diskcfg import (
+    SPINDOWN_TIME_S,
+    SPINUP_TIME_S,
+    DiskGeometry,
+    DiskMode,
+    DiskPowerPolicy,
+)
+from repro.disk.geometry import DiskMechanism, RequestTiming
+from repro.disk.power import DiskEnergyAccountant
+from repro.disk.states import DiskStateMachine
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class DiskRequestResult:
+    """Outcome of one disk request."""
+
+    arrival_s: float
+    start_s: float
+    """When the disk began working on the request (>= arrival)."""
+    completion_s: float
+    service_s: float
+    """Media time: seek + rotation + transfer."""
+    spinup_penalty_s: float
+    """Extra latency spent finishing a spin-down and/or spinning up."""
+
+    @property
+    def latency_s(self) -> float:
+        """Total request latency seen by the blocked process."""
+        return self.completion_s - self.arrival_s
+
+
+class PowerManagedDisk:
+    """A disk whose power modes follow one of the Section 4 policies."""
+
+    def __init__(
+        self,
+        policy: DiskPowerPolicy,
+        geometry: DiskGeometry | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.policy = policy
+        self.mechanism = DiskMechanism(geometry, seed=seed)
+        initial = DiskMode.ACTIVE if policy.conventional else DiskMode.IDLE
+        self.state = DiskStateMachine(initial)
+        self.energy = DiskEnergyAccountant()
+        self.requests = 0
+        self.bytes_transferred = 0
+        self.history: list[tuple[float, float, DiskMode]] = []
+        """(start_s, end_s, mode) intervals, in time order."""
+        self._clock_s = 0.0
+        self._idle_since_s = 0.0
+        self._spindown_end_s = 0.0
+        self._threshold_s: float | None = policy.spindown_threshold_s
+
+    @property
+    def clock_s(self) -> float:
+        """Time up to which disk energy has been integrated."""
+        return self._clock_s
+
+    @property
+    def mode(self) -> DiskMode:
+        """Current operating mode."""
+        return self.state.mode
+
+
+    def _accrue(self, mode: DiskMode, duration_s: float) -> None:
+        """Integrate energy and record the interval in the history."""
+        if duration_s < 0.0:
+            raise ValueError(f"duration cannot be negative: {duration_s}")
+        if duration_s == 0.0:
+            return
+        self.energy.accrue(mode, duration_s)
+        if (
+            self.history
+            and self.history[-1][2] is mode
+            and abs(self.history[-1][1] - self._clock_s) < 1e-12
+        ):
+            start, _end, _mode = self.history[-1]
+            self.history[-1] = (start, self._clock_s + duration_s, mode)
+        else:
+            self.history.append((self._clock_s, self._clock_s + duration_s, mode))
+
+    # ------------------------------------------------------------------
+    # Autonomous time evolution (no requests)
+    # ------------------------------------------------------------------
+
+    def advance(self, to_s: float) -> None:
+        """Integrate energy up to ``to_s``, firing scheduled spin-downs."""
+        if to_s < self._clock_s:
+            raise ValueError(
+                f"time went backwards: advance({to_s}) with clock at {self._clock_s}"
+            )
+        threshold = self._threshold_s
+        while self._clock_s < to_s:
+            mode = self.state.mode
+            if mode is DiskMode.IDLE and threshold is not None:
+                deadline = self._idle_since_s + threshold
+                if to_s <= deadline:
+                    self._accrue(DiskMode.IDLE, to_s - self._clock_s)
+                    self._clock_s = to_s
+                    return
+                self._accrue(DiskMode.IDLE, deadline - self._clock_s)
+                self._clock_s = deadline
+                self.state.transition(DiskMode.SPINDOWN)
+                self._spindown_end_s = self._clock_s + SPINDOWN_TIME_S
+            elif mode is DiskMode.SPINDOWN:
+                end = min(to_s, self._spindown_end_s)
+                self._accrue(DiskMode.SPINDOWN, end - self._clock_s)
+                self._clock_s = end
+                if self._clock_s >= self._spindown_end_s:
+                    self.state.transition(DiskMode.STANDBY)
+            else:
+                # ACTIVE (conventional), IDLE without threshold, STANDBY,
+                # or SLEEP: steady state until the next request.
+                self._accrue(mode, to_s - self._clock_s)
+                self._clock_s = to_s
+        return
+
+    # ------------------------------------------------------------------
+    # Request servicing
+    # ------------------------------------------------------------------
+
+    def _ensure_spinning(self) -> float:
+        """Bring the platter to operating speed; returns the penalty paid."""
+        penalty = 0.0
+        if self.state.mode is DiskMode.SPINDOWN:
+            # An unlucky request arrived mid-spin-down: the operation
+            # must complete before the disk can spin back up.
+            remaining = self._spindown_end_s - self._clock_s
+            self._accrue(DiskMode.SPINDOWN, remaining)
+            self._clock_s = self._spindown_end_s
+            self.state.transition(DiskMode.STANDBY)
+            penalty += remaining
+        if self.state.mode in (DiskMode.STANDBY, DiskMode.SLEEP):
+            self.state.transition(DiskMode.SPINUP)
+            self._accrue(DiskMode.SPINUP, SPINUP_TIME_S)
+            self._clock_s += SPINUP_TIME_S
+            self.state.transition(DiskMode.ACTIVE)
+            penalty += SPINUP_TIME_S
+        return penalty
+
+    def request(
+        self,
+        arrival_s: float,
+        nbytes: int,
+        *,
+        cylinder: int | None = None,
+    ) -> DiskRequestResult:
+        """Service a synchronous request arriving at ``arrival_s``."""
+        if nbytes <= 0:
+            raise ValueError(f"nbytes must be positive, got {nbytes}")
+        start_s = max(arrival_s, self._clock_s)
+        self.advance(start_s)
+        spinup_penalty = self._ensure_spinning()
+        timing: RequestTiming = self.mechanism.request_timing(nbytes, cylinder=cylinder)
+        seek_total = timing.seek_s
+        if self.state.mode in (DiskMode.IDLE, DiskMode.ACTIVE):
+            self.state.transition(DiskMode.SEEK)
+        self._accrue(DiskMode.SEEK, seek_total)
+        self._clock_s += seek_total
+        self.state.transition(DiskMode.ACTIVE)
+        busy = timing.rotation_s + timing.transfer_s
+        self._accrue(DiskMode.ACTIVE, busy)
+        self._clock_s += busy
+        if not self.policy.conventional:
+            # Immediate, free drop to IDLE after the request completes.
+            self.state.transition(DiskMode.IDLE)
+            self._idle_since_s = self._clock_s
+        self.requests += 1
+        self.bytes_transferred += nbytes
+        return DiskRequestResult(
+            arrival_s=arrival_s,
+            start_s=start_s,
+            completion_s=self._clock_s,
+            service_s=timing.service_s,
+            spinup_penalty_s=spinup_penalty,
+        )
+
+    def finish(self, end_s: float) -> None:
+        """Close out the run: integrate energy up to ``end_s``."""
+        self.advance(end_s)
+
+    def sleep(self) -> None:
+        """Issue the explicit SLEEP command (modelled but unused, Sec. 2)."""
+        if self.state.mode not in (DiskMode.IDLE, DiskMode.STANDBY):
+            raise RuntimeError(f"cannot sleep from mode {self.state.mode}")
+        self.state.transition(DiskMode.SLEEP)

@@ -1,0 +1,95 @@
+"""MK3003MAN operating-modes state machine (Figure 2).
+
+Transitions implemented exactly as the paper describes:
+
+* IDLE -> ACTIVE on a seek operation (the seek itself runs in the SEEK
+  mode at 4.1 W; the ACTIVE <-> IDLE transition takes zero time and
+  zero power, following [Li et al. 94]),
+* IDLE -> STANDBY by spinning down (5 s, assumed to consume no power),
+* STANDBY -> ACTIVE requires a spin-up (5 s at 4.2 W — both a
+  performance and an energy penalty),
+* SLEEP is entered only via an explicit command and is never used by
+  the paper's policies (it is modelled and validated, but unused).
+"""
+
+from __future__ import annotations
+
+from repro.config.diskcfg import (
+    MK3003MAN_POWER_W,
+    SPINDOWN_TIME_S,
+    SPINUP_TIME_S,
+    DiskMode,
+)
+
+
+class IllegalDiskTransition(RuntimeError):
+    """Raised when a transition violates the Figure 2 state machine."""
+
+
+#: Legal (from, to) mode transitions.
+_LEGAL_TRANSITIONS: frozenset[tuple[DiskMode, DiskMode]] = frozenset(
+    {
+        (DiskMode.IDLE, DiskMode.SEEK),        # seek operation begins
+        (DiskMode.SEEK, DiskMode.ACTIVE),      # heads settled, transfer
+        (DiskMode.ACTIVE, DiskMode.SEEK),      # back-to-back requests
+        (DiskMode.ACTIVE, DiskMode.IDLE),      # zero-time, zero-power
+        (DiskMode.IDLE, DiskMode.SPINDOWN),    # spin-down threshold fired
+        (DiskMode.SPINDOWN, DiskMode.STANDBY),
+        (DiskMode.STANDBY, DiskMode.SPINUP),   # I/O request while spun down
+        (DiskMode.SPINUP, DiskMode.ACTIVE),
+        (DiskMode.STANDBY, DiskMode.SLEEP),    # explicit command only
+        (DiskMode.IDLE, DiskMode.SLEEP),       # explicit command only
+        (DiskMode.SLEEP, DiskMode.SPINUP),
+    }
+)
+
+
+class DiskStateMachine:
+    """Tracks the disk's operating mode and legal transitions."""
+
+    def __init__(self, initial: DiskMode = DiskMode.IDLE) -> None:
+        self.mode = initial
+        self.transition_count: dict[tuple[DiskMode, DiskMode], int] = {}
+
+    def power_w(self) -> float:
+        """Power draw of the current mode in watts."""
+        return MK3003MAN_POWER_W[self.mode]
+
+    def can_transition(self, to: DiskMode) -> bool:
+        """True if moving to ``to`` is legal from the current mode."""
+        return (self.mode, to) in _LEGAL_TRANSITIONS
+
+    def transition(self, to: DiskMode) -> None:
+        """Move to mode ``to``; raises on an illegal transition."""
+        if to is self.mode:
+            return
+        edge = (self.mode, to)
+        if edge not in _LEGAL_TRANSITIONS:
+            raise IllegalDiskTransition(f"illegal disk transition {edge[0]} -> {edge[1]}")
+        self.transition_count[edge] = self.transition_count.get(edge, 0) + 1
+        self.mode = to
+
+    def count(self, from_mode: DiskMode, to_mode: DiskMode) -> int:
+        """How many times the given transition fired."""
+        return self.transition_count.get((from_mode, to_mode), 0)
+
+    @property
+    def spinups(self) -> int:
+        """Number of spin-up operations performed."""
+        return self.count(DiskMode.STANDBY, DiskMode.SPINUP) + self.count(
+            DiskMode.SLEEP, DiskMode.SPINUP
+        )
+
+    @property
+    def spindowns(self) -> int:
+        """Number of spin-down operations performed."""
+        return self.count(DiskMode.IDLE, DiskMode.SPINDOWN)
+
+
+def transition_time_s(to: DiskMode) -> float:
+    """Duration of entering mode ``to`` (only spin transitions take time)."""
+    if to is DiskMode.SPINUP:
+        return SPINUP_TIME_S
+    if to is DiskMode.SPINDOWN:
+        return SPINDOWN_TIME_S
+    return 0.0

@@ -1,0 +1,48 @@
+"""Abstract MIPS-like ISA: instructions, trace helpers, synthetic code."""
+
+from repro.isa.instruction import (
+    EXECUTION_LATENCY,
+    FP_REG_BASE,
+    FP_REG_COUNT,
+    INT_REG_BASE,
+    INT_REG_COUNT,
+    RETURN_ADDRESS_REG,
+    ZERO_REG,
+    Instruction,
+    OpClass,
+    is_fp_register,
+)
+from repro.isa.stream import (
+    InstructionStream,
+    chain,
+    copy_loop,
+    counted_loop,
+    memory_walk,
+    spin_loop,
+    straightline,
+    take,
+)
+from repro.isa.generators import CodeSignature, SyntheticCodeGenerator
+
+__all__ = [
+    "EXECUTION_LATENCY",
+    "FP_REG_BASE",
+    "FP_REG_COUNT",
+    "INT_REG_BASE",
+    "INT_REG_COUNT",
+    "RETURN_ADDRESS_REG",
+    "ZERO_REG",
+    "Instruction",
+    "OpClass",
+    "is_fp_register",
+    "InstructionStream",
+    "chain",
+    "copy_loop",
+    "counted_loop",
+    "memory_walk",
+    "spin_loop",
+    "straightline",
+    "take",
+    "CodeSignature",
+    "SyntheticCodeGenerator",
+]

@@ -1,0 +1,431 @@
+"""Statistical synthetic-code generation.
+
+Real SPEC JVM98 binaries are not available to this reproduction, so
+user-mode code is produced by :class:`SyntheticCodeGenerator`, a seeded
+statistical generator parameterised by a :class:`CodeSignature`.  The
+signature captures exactly the properties the paper's results depend
+on:
+
+* instruction mix (load/store/branch/FP fractions),
+* instruction-level parallelism, via the register dependence-distance
+  distribution (user code exhibits higher ILP than kernel code,
+  Section 3.2),
+* control structure: loop-body sizes, iteration counts, call depth,
+  and the fraction of loops containing data-dependent (unpredictable)
+  branches (kernel code has worse branch-prediction accuracy,
+  Section 3.2),
+* code and data footprints with spatial/temporal locality knobs, which
+  determine cache, L2, and TLB behaviour (and therefore the ``utlb``
+  service rate under the software-managed TLB).
+
+Crucially, the generated *static code is stable*: revisiting a code
+region re-executes the same loops with the same branch sites, call
+targets, and trip counts, so the I-cache, BHT, BTB, and RAS see the
+training behaviour of real programs.  Only data-dependent quantities
+(operand registers, effective addresses, data-dependent branch
+directions) vary between visits.
+
+Generation is fully deterministic for a given (signature, seed) pair.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+import zlib
+from typing import Iterator
+
+from repro.isa.instruction import (
+    FP_REG_BASE,
+    Instruction,
+    OpClass,
+    RETURN_ADDRESS_REG,
+)
+
+_INT_POOL = tuple(range(8, 24))
+_FP_POOL = tuple(range(FP_REG_BASE + 4, FP_REG_BASE + 20))
+_MAX_CALL_DEPTH = 8
+_MAX_CACHED_FUNCTIONS = 16384
+
+
+@dataclasses.dataclass(frozen=True)
+class CodeSignature:
+    """Statistical description of a code region.
+
+    All fractions are probabilities in [0, 1].  ``dependency_distance``
+    is the mean of the geometric distribution from which each source
+    operand's producer distance is drawn — small values create serial
+    dependence chains (low ILP), large values create independent
+    instructions (high ILP).
+    """
+
+    name: str
+    load_fraction: float = 0.22
+    store_fraction: float = 0.10
+    fp_fraction: float = 0.02
+    imul_fraction: float = 0.01
+    dependency_distance: float = 6.0
+    loop_body_mean: int = 10
+    loop_iterations_mean: int = 24
+    irregular_branch_fraction: float = 0.08
+    """Probability that a loop site contains a data-dependent branch."""
+    call_fraction: float = 0.06
+    code_footprint_bytes: int = 256 * 1024
+    hot_code_fraction: float = 0.9
+    """Probability that control transfers stay within the hot code set."""
+    hot_code_bytes: int = 16 * 1024
+    data_footprint_bytes: int = 8 * 1024 * 1024
+    hot_data_bytes: int = 64 * 1024
+    temporal_locality: float = 0.75
+    """Probability a data access falls in the hot data set."""
+    spatial_run_mean: int = 8
+    """Mean length of sequential-stride access runs."""
+    stride_bytes: int = 8
+    code_base: int = 0x0040_0000
+    data_base: int = 0x1000_0000
+
+    def __post_init__(self) -> None:
+        fractions = (
+            self.load_fraction,
+            self.store_fraction,
+            self.fp_fraction,
+            self.imul_fraction,
+            self.irregular_branch_fraction,
+            self.call_fraction,
+            self.hot_code_fraction,
+            self.temporal_locality,
+        )
+        for value in fractions:
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{self.name}: fraction {value} outside [0, 1]")
+        if self.load_fraction + self.store_fraction + self.fp_fraction > 1.0:
+            raise ValueError(f"{self.name}: instruction mix exceeds 1.0")
+        if self.dependency_distance <= 0:
+            raise ValueError(f"{self.name}: dependency_distance must be positive")
+        if self.loop_body_mean < 2 or self.loop_iterations_mean < 1:
+            raise ValueError(f"{self.name}: loop shape parameters too small")
+        for size in (
+            self.code_footprint_bytes,
+            self.hot_code_bytes,
+            self.data_footprint_bytes,
+            self.hot_data_bytes,
+            self.stride_bytes,
+        ):
+            if size <= 0:
+                raise ValueError(f"{self.name}: footprint/stride sizes must be positive")
+        if self.hot_code_bytes > self.code_footprint_bytes:
+            raise ValueError(f"{self.name}: hot code larger than code footprint")
+        if self.hot_data_bytes > self.data_footprint_bytes:
+            raise ValueError(f"{self.name}: hot data larger than data footprint")
+
+
+@dataclasses.dataclass(frozen=True)
+class _LoopSpec:
+    """Static shape of one loop site."""
+
+    offset: int
+    """Byte offset of the loop head from the function base."""
+    body_ops: tuple[OpClass, ...]
+    iterations: int
+    irregular_slot: int
+    """Body slot holding a data-dependent branch, or -1."""
+
+    @property
+    def static_len(self) -> int:
+        """Static instructions: body + counter update + back branch."""
+        return len(self.body_ops) + 2
+
+
+@dataclasses.dataclass(frozen=True)
+class _FunctionSpec:
+    """Static shape of one generated function."""
+
+    base_pc: int
+    loops: tuple[_LoopSpec, ...]
+    call_sites: tuple[tuple[int, int], ...]
+    """(byte offset, callee base PC) pairs, one after selected loops."""
+    return_offset: int
+
+
+class _DataAddressModel:
+    """Generates data effective addresses with the signature's locality."""
+
+    def __init__(self, signature: CodeSignature, rng: random.Random) -> None:
+        self._sig = signature
+        self._rng = rng
+        self._cursor = signature.data_base
+        self._run_left = 0
+
+    def next_address(self) -> int:
+        sig = self._sig
+        if self._run_left > 0:
+            self._run_left -= 1
+            self._cursor += sig.stride_bytes
+        else:
+            if self._rng.random() < sig.temporal_locality:
+                span = sig.hot_data_bytes
+            else:
+                span = sig.data_footprint_bytes
+            offset = self._rng.randrange(0, span, sig.stride_bytes)
+            self._cursor = sig.data_base + offset
+            self._run_left = max(0, int(self._rng.expovariate(1.0 / sig.spatial_run_mean)))
+        limit = sig.data_base + sig.data_footprint_bytes - sig.stride_bytes
+        if self._cursor > limit:
+            self._cursor = sig.data_base
+        return self._cursor
+
+
+class SyntheticCodeGenerator:
+    """Infinite deterministic instruction stream for one code signature."""
+
+    def __init__(
+        self,
+        signature: CodeSignature,
+        seed: int = 0,
+        *,
+        service: str | None = None,
+    ) -> None:
+        self.signature = signature
+        self._seed = seed
+        # zlib.crc32, not hash(): str hashing is randomised per process
+        # and would break cross-session reproducibility.
+        name_hash = zlib.crc32(signature.name.encode())
+        self._rng = random.Random(name_hash ^ seed)
+        self._data = _DataAddressModel(signature, self._rng)
+        self._service = service
+        self._recent_dests: list[int] = []
+        self._int_cursor = 0
+        self._fp_cursor = 0
+        self._functions: dict[int, _FunctionSpec] = {}
+
+    # ------------------------------------------------------------------
+    # Register model (dynamic: varies between visits to the same code)
+    # ------------------------------------------------------------------
+
+    def _alloc_dest(self, fp: bool) -> int:
+        if fp:
+            self._fp_cursor = (self._fp_cursor + 1) % len(_FP_POOL)
+            reg = _FP_POOL[self._fp_cursor]
+        else:
+            self._int_cursor = (self._int_cursor + 1) % len(_INT_POOL)
+            reg = _INT_POOL[self._int_cursor]
+        self._recent_dests.append(reg)
+        if len(self._recent_dests) > 64:
+            del self._recent_dests[:32]
+        return reg
+
+    def _pick_src(self) -> int:
+        if not self._recent_dests:
+            return 0
+        distance = int(self._rng.expovariate(1.0 / self.signature.dependency_distance))
+        index = len(self._recent_dests) - 1 - distance
+        if index < 0:
+            return 0
+        return self._recent_dests[index]
+
+    def _pick_srcs(self, count: int = 2) -> tuple[int, ...]:
+        return tuple(self._pick_src() for _ in range(count))
+
+    # ------------------------------------------------------------------
+    # Static code-layout model (stable per site)
+    # ------------------------------------------------------------------
+
+    def _pick_region(self) -> int:
+        sig = self.signature
+        if self._rng.random() < sig.hot_code_fraction:
+            span = sig.hot_code_bytes
+        else:
+            span = sig.code_footprint_bytes
+        return sig.code_base + self._rng.randrange(0, span, 512)
+
+    def _op_for_slot(self, rng: random.Random) -> OpClass:
+        sig = self.signature
+        roll = rng.random()
+        if roll < sig.load_fraction:
+            return OpClass.LOAD
+        roll -= sig.load_fraction
+        if roll < sig.store_fraction:
+            return OpClass.STORE
+        roll -= sig.store_fraction
+        if roll < sig.fp_fraction:
+            return OpClass.FMUL if rng.random() < 0.4 else OpClass.FALU
+        roll -= sig.fp_fraction
+        if roll < sig.imul_fraction:
+            return OpClass.IMUL
+        return OpClass.IALU
+
+    def _build_function(self, base_pc: int) -> _FunctionSpec:
+        """Generate the static shape of the function at ``base_pc``.
+
+        The shape is derived from an RNG seeded by the site address, so
+        it is identical on every visit and across generator instances
+        with the same seed.
+        """
+        sig = self.signature
+        site_rng = random.Random(base_pc ^ (self._seed * 0x9E3779B1) ^ 0xC0DE)
+        loops: list[_LoopSpec] = []
+        call_sites: list[tuple[int, int]] = []
+        offset = 0
+        for _ in range(site_rng.randint(1, 3)):
+            body_len = min(28, max(2, int(site_rng.expovariate(1.0 / sig.loop_body_mean))))
+            iterations = min(512, max(1, int(site_rng.expovariate(1.0 / sig.loop_iterations_mean))))
+            has_irregular = (
+                body_len >= 4 and site_rng.random() < sig.irregular_branch_fraction
+            )
+            body_ops = tuple(self._op_for_slot(site_rng) for _ in range(body_len))
+            loop = _LoopSpec(
+                offset=offset,
+                body_ops=body_ops,
+                iterations=iterations,
+                irregular_slot=body_len // 2 if has_irregular else -1,
+            )
+            loops.append(loop)
+            offset += 4 * loop.static_len
+            if site_rng.random() < sig.call_fraction:
+                # Call target fixed per site (static call graph).
+                callee_rng = site_rng.random()
+                if callee_rng < sig.hot_code_fraction:
+                    span = sig.hot_code_bytes
+                else:
+                    span = sig.code_footprint_bytes
+                callee = sig.code_base + site_rng.randrange(0, span, 512)
+                if callee != base_pc:
+                    call_sites.append((offset, callee))
+                    offset += 4
+        return _FunctionSpec(
+            base_pc=base_pc,
+            loops=tuple(loops),
+            call_sites=tuple(call_sites),
+            return_offset=offset,
+        )
+
+    def _function_spec(self, base_pc: int) -> _FunctionSpec:
+        spec = self._functions.get(base_pc)
+        if spec is None:
+            spec = self._build_function(base_pc)
+            if len(self._functions) >= _MAX_CACHED_FUNCTIONS:
+                self._functions.clear()
+            self._functions[base_pc] = spec
+        return spec
+
+    # ------------------------------------------------------------------
+    # Dynamic execution of the static shapes
+    # ------------------------------------------------------------------
+
+    def _make_instruction(self, pc: int, op: OpClass) -> Instruction:
+        if op is OpClass.LOAD:
+            return Instruction(
+                pc=pc,
+                op=op,
+                dest=self._alloc_dest(fp=False),
+                srcs=(self._pick_src(),),
+                address=self._data.next_address(),
+                size=self.signature.stride_bytes,
+                service=self._service,
+            )
+        if op is OpClass.STORE:
+            return Instruction(
+                pc=pc,
+                op=op,
+                srcs=self._pick_srcs(2),
+                address=self._data.next_address(),
+                size=self.signature.stride_bytes,
+                service=self._service,
+            )
+        fp = op.is_fp
+        return Instruction(
+            pc=pc,
+            op=op,
+            dest=self._alloc_dest(fp=fp),
+            srcs=self._pick_srcs(2),
+            service=self._service,
+        )
+
+    def _run_loop(self, base_pc: int, spec: _LoopSpec) -> Iterator[Instruction]:
+        service = self._service
+        body_len = len(spec.body_ops)
+        head = base_pc + spec.offset
+        counter_pc = head + 4 * body_len
+        branch_pc = counter_pc + 4
+        for iteration in range(spec.iterations):
+            pc = head
+            slot = 0
+            while slot < body_len:
+                if slot == spec.irregular_slot:
+                    skip = self._rng.random() < 0.5
+                    yield Instruction(
+                        pc=pc,
+                        op=OpClass.BRANCH,
+                        srcs=(self._pick_src(),),
+                        target=pc + 12,
+                        taken=skip,
+                        service=service,
+                    )
+                    if skip:
+                        advance = min(3, body_len - slot)
+                        pc += 4 * advance
+                        slot += advance
+                    else:
+                        pc += 4
+                        slot += 1
+                    continue
+                yield self._make_instruction(pc, spec.body_ops[slot])
+                pc += 4
+                slot += 1
+            yield Instruction(
+                pc=counter_pc,
+                op=OpClass.IALU,
+                dest=2,
+                srcs=(2,),
+                service=service,
+            )
+            yield Instruction(
+                pc=branch_pc,
+                op=OpClass.BRANCH,
+                srcs=(2,),
+                target=head,
+                taken=iteration != spec.iterations - 1,
+                service=service,
+            )
+
+    def _run_function(
+        self, base_pc: int, depth: int, return_pc: int
+    ) -> Iterator[Instruction]:
+        spec = self._function_spec(base_pc)
+        service = self._service
+        call_sites = dict(spec.call_sites)
+        for loop in spec.loops:
+            yield from self._run_loop(base_pc, loop)
+            after = loop.offset + 4 * loop.static_len
+            callee = call_sites.get(after)
+            if callee is not None:
+                call_pc = base_pc + after
+                if depth < _MAX_CALL_DEPTH:
+                    yield Instruction(
+                        pc=call_pc,
+                        op=OpClass.CALL,
+                        dest=RETURN_ADDRESS_REG,
+                        target=callee,
+                        taken=True,
+                        service=service,
+                    )
+                    yield from self._run_function(callee, depth + 1, call_pc + 4)
+        yield Instruction(
+            pc=base_pc + spec.return_offset,
+            op=OpClass.RETURN,
+            srcs=(RETURN_ADDRESS_REG,),
+            target=return_pc,
+            taken=True,
+            service=service,
+        )
+
+    def __iter__(self) -> Iterator[Instruction]:
+        """Yield instructions forever."""
+        next_region = self._pick_region()
+        while True:
+            region = next_region
+            next_region = self._pick_region()
+            # A top-level function "returns" to the dispatcher, which
+            # immediately enters the next function: model that return
+            # as landing directly on the next region.
+            yield from self._run_function(region, depth=0, return_pc=next_region)

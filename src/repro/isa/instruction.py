@@ -1,0 +1,134 @@
+"""Abstract MIPS-like instruction representation.
+
+SoftWatt simulates real MIPS binaries under SimOS; our substitute is an
+abstract ISA rich enough to drive the pipeline, branch-predictor,
+cache, and TLB models: every instruction carries a PC, an operation
+class, register operands, and (for memory operations) an effective
+address.  See DESIGN.md section 2 for why this preserves the paper's
+observable behaviour.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+
+
+class OpClass(enum.Enum):
+    """Operation classes recognised by the CPU models."""
+
+    IALU = "ialu"          # integer add/sub/logic/compare
+    IMUL = "imul"          # integer multiply/divide
+    FALU = "falu"          # FP add/sub/compare
+    FMUL = "fmul"          # FP multiply/divide/sqrt
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"      # conditional branch
+    JUMP = "jump"          # unconditional direct jump
+    CALL = "call"          # jal: pushes return address
+    RETURN = "return"      # jr ra: pops return address
+    SYSCALL = "syscall"    # trap into the kernel
+    ERET = "eret"          # return from exception/trap
+    SYNC = "sync"          # ll/sc-style synchronisation op
+    CACHEOP = "cacheop"    # explicit cache flush/invalidate op
+    NOP = "nop"
+
+    @property
+    def is_memory(self) -> bool:
+        """True for operations that access the data cache."""
+        return self in (OpClass.LOAD, OpClass.STORE, OpClass.SYNC, OpClass.CACHEOP)
+
+    @property
+    def is_control(self) -> bool:
+        """True for operations that can redirect fetch."""
+        return self in (
+            OpClass.BRANCH,
+            OpClass.JUMP,
+            OpClass.CALL,
+            OpClass.RETURN,
+            OpClass.SYSCALL,
+            OpClass.ERET,
+        )
+
+    @property
+    def is_fp(self) -> bool:
+        """True for operations executed on the FP units."""
+        return self in (OpClass.FALU, OpClass.FMUL)
+
+
+#: Execution latency in cycles on the issuing functional unit.
+EXECUTION_LATENCY: dict[OpClass, int] = {
+    OpClass.IALU: 1,
+    OpClass.IMUL: 4,
+    OpClass.FALU: 2,
+    OpClass.FMUL: 4,
+    OpClass.LOAD: 1,       # plus cache latency, added by the memory system
+    OpClass.STORE: 1,
+    OpClass.BRANCH: 1,
+    OpClass.JUMP: 1,
+    OpClass.CALL: 1,
+    OpClass.RETURN: 1,
+    OpClass.SYSCALL: 1,
+    OpClass.ERET: 1,
+    OpClass.SYNC: 2,
+    OpClass.CACHEOP: 1,
+    OpClass.NOP: 1,
+}
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class Instruction:
+    """One dynamic instruction.
+
+    ``pc`` is a byte address (instructions are 4 bytes).  ``srcs`` and
+    ``dest`` are architectural register numbers; by convention integer
+    registers are 0..33 and FP registers 64..95, register 0 is the
+    hard-wired zero and never creates a dependence.  ``address`` is the
+    data effective address for memory operations.  For control
+    operations, ``target`` is the (possibly predicted-against) actual
+    next PC and ``taken`` records the resolved direction.
+    """
+
+    pc: int
+    op: OpClass
+    dest: int = 0
+    srcs: tuple[int, ...] = ()
+    address: int = 0
+    size: int = 0
+    target: int = 0
+    taken: bool = False
+    service: str | None = None
+    """Optional label of the kernel service this instruction belongs to
+    (used by the service-level accounting of Section 3.3)."""
+
+    def __post_init__(self) -> None:
+        if self.pc < 0 or self.pc % 4 != 0:
+            raise ValueError(f"pc must be a non-negative multiple of 4, got {self.pc}")
+        if self.op.is_memory and self.op is not OpClass.CACHEOP and self.size <= 0:
+            raise ValueError(f"memory op at pc={self.pc:#x} needs a positive size")
+
+    @property
+    def fall_through(self) -> int:
+        """PC of the next sequential instruction."""
+        return self.pc + 4
+
+    @property
+    def next_pc(self) -> int:
+        """Resolved next PC (target if taken, else fall-through)."""
+        if self.op.is_control and self.taken:
+            return self.target
+        return self.fall_through
+
+
+# Register-file conventions shared by the generators and CPU models.
+ZERO_REG = 0
+INT_REG_BASE = 1
+INT_REG_COUNT = 33        # 34 integer registers including the zero register
+FP_REG_BASE = 64
+FP_REG_COUNT = 32
+RETURN_ADDRESS_REG = 31
+
+
+def is_fp_register(reg: int) -> bool:
+    """True if ``reg`` names an FP architectural register."""
+    return reg >= FP_REG_BASE

@@ -1,0 +1,236 @@
+"""Helpers for building dynamic instruction traces.
+
+The CPU models consume *dynamic* instruction streams (iterators of
+:class:`~repro.isa.instruction.Instruction`).  Loops therefore appear
+unrolled in the stream, but every iteration of a loop re-uses the same
+static PCs so that the I-cache and branch predictor see realistic
+reference patterns.  The helpers here keep that bookkeeping in one
+place; the kernel-service handler bodies and the synthetic workload
+generators are built from them.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Callable, Iterable, Iterator
+
+from repro.isa.instruction import Instruction, OpClass
+
+InstructionStream = Iterator[Instruction]
+"""A dynamic instruction trace."""
+
+BodyEmitter = Callable[[int, int], Iterable[Instruction]]
+"""Emits one loop-body iteration: ``(iteration, base_pc) -> instructions``.
+
+The emitted body must have the same instruction count on every
+iteration so that the loop's backward branch lands on a fixed PC.
+"""
+
+
+def straightline(
+    base_pc: int,
+    ops: Iterable[OpClass],
+    *,
+    dest_regs: Iterable[int] = itertools.repeat(1),
+    srcs: tuple[int, ...] = (),
+    service: str | None = None,
+) -> Iterator[Instruction]:
+    """Yield a straight-line sequence of non-memory instructions."""
+    pc = base_pc
+    for op, dest in zip(ops, dest_regs):
+        if op.is_memory or op.is_control:
+            raise ValueError(f"straightline cannot emit {op}; build it explicitly")
+        yield Instruction(pc=pc, op=op, dest=dest, srcs=srcs, service=service)
+        pc += 4
+
+
+def counted_loop(
+    base_pc: int,
+    iterations: int,
+    emit_body: BodyEmitter,
+    *,
+    counter_reg: int = 2,
+    service: str | None = None,
+) -> Iterator[Instruction]:
+    """Yield ``iterations`` passes over a loop body plus its back branch.
+
+    Each pass emits ``emit_body(iteration, base_pc)`` followed by a
+    counter decrement and a backward conditional branch that is taken on
+    every pass except the last — the classic counted-loop shape the
+    2-bit branch predictor captures after one mispredict.
+    """
+    if iterations <= 0:
+        raise ValueError(f"iterations must be positive, got {iterations}")
+    body_len: int | None = None
+    for iteration in range(iterations):
+        emitted = 0
+        for instr in emit_body(iteration, base_pc):
+            emitted += 1
+            yield instr
+        if body_len is None:
+            body_len = emitted
+        elif emitted != body_len:
+            raise ValueError(
+                f"loop body emitted {emitted} instructions on iteration "
+                f"{iteration}, expected {body_len}"
+            )
+        decrement_pc = base_pc + 4 * body_len
+        yield Instruction(
+            pc=decrement_pc,
+            op=OpClass.IALU,
+            dest=counter_reg,
+            srcs=(counter_reg,),
+            service=service,
+        )
+        yield Instruction(
+            pc=decrement_pc + 4,
+            op=OpClass.BRANCH,
+            srcs=(counter_reg,),
+            target=base_pc,
+            taken=iteration != iterations - 1,
+            service=service,
+        )
+
+
+def memory_walk(
+    base_pc: int,
+    op: OpClass,
+    start_address: int,
+    count: int,
+    *,
+    stride: int = 8,
+    size: int = 8,
+    value_reg: int = 3,
+    address_reg: int = 4,
+    service: str | None = None,
+) -> Iterator[Instruction]:
+    """Yield a unit-body loop that walks memory with a fixed stride.
+
+    This is the shape of ``bzero``/``bcopy``-style kernel inner loops
+    (``demand_zero`` zeroing a page, ``read`` copying out of the file
+    cache): one memory operation, one address increment, one backward
+    branch per element.
+    """
+    if op not in (OpClass.LOAD, OpClass.STORE):
+        raise ValueError(f"memory_walk requires LOAD or STORE, got {op}")
+    if count <= 0:
+        raise ValueError(f"count must be positive, got {count}")
+
+    def body(iteration: int, pc: int) -> Iterable[Instruction]:
+        dest = value_reg if op is OpClass.LOAD else 0
+        srcs = (address_reg,) if op is OpClass.LOAD else (value_reg, address_reg)
+        yield Instruction(
+            pc=pc,
+            op=op,
+            dest=dest,
+            srcs=srcs,
+            address=start_address + iteration * stride,
+            size=size,
+            service=service,
+        )
+        yield Instruction(
+            pc=pc + 4,
+            op=OpClass.IALU,
+            dest=address_reg,
+            srcs=(address_reg,),
+            service=service,
+        )
+
+    yield from counted_loop(base_pc, count, body, service=service)
+
+
+def copy_loop(
+    base_pc: int,
+    src_address: int,
+    dst_address: int,
+    nbytes: int,
+    *,
+    word: int = 8,
+    service: str | None = None,
+) -> Iterator[Instruction]:
+    """Yield a load/store copy loop moving ``nbytes`` (rounded up to a word)."""
+    if nbytes <= 0:
+        raise ValueError(f"nbytes must be positive, got {nbytes}")
+    words = max(1, (nbytes + word - 1) // word)
+
+    def body(iteration: int, pc: int) -> Iterable[Instruction]:
+        offset = iteration * word
+        yield Instruction(
+            pc=pc,
+            op=OpClass.LOAD,
+            dest=3,
+            srcs=(4,),
+            address=src_address + offset,
+            size=word,
+            service=service,
+        )
+        yield Instruction(
+            pc=pc + 4,
+            op=OpClass.STORE,
+            srcs=(3, 5),
+            address=dst_address + offset,
+            size=word,
+            service=service,
+        )
+        yield Instruction(pc=pc + 8, op=OpClass.IALU, dest=4, srcs=(4,), service=service)
+        yield Instruction(pc=pc + 12, op=OpClass.IALU, dest=5, srcs=(5,), service=service)
+
+    yield from counted_loop(base_pc, words, body, service=service)
+
+
+def spin_loop(
+    base_pc: int,
+    lock_address: int,
+    spins: int,
+    *,
+    service: str | None = None,
+) -> Iterator[Instruction]:
+    """Yield an ll/sc-style spin-wait: the kernel-synchronisation shape.
+
+    Each pass performs a synchronising load of the lock word, a compare,
+    and a backward branch — comparison and increment/decrement in a
+    tight loop, intensely exercising the L1 I-cache and the ALUs
+    (Section 3.2).
+    """
+    if spins <= 0:
+        raise ValueError(f"spins must be positive, got {spins}")
+    for spin in range(spins):
+        last = spin == spins - 1
+        # Each ll observes the previous pass's test result: passes are
+        # serially dependent, as in a real lock-polling loop.
+        yield Instruction(
+            pc=base_pc,
+            op=OpClass.SYNC,
+            dest=3,
+            srcs=(5,),
+            address=lock_address,
+            size=4,
+            service=service,
+        )
+        yield Instruction(
+            pc=base_pc + 4, op=OpClass.IALU, dest=5, srcs=(3,), service=service
+        )
+        yield Instruction(
+            pc=base_pc + 8, op=OpClass.IALU, dest=6, srcs=(5,), service=service
+        )
+        yield Instruction(
+            pc=base_pc + 12, op=OpClass.IALU, dest=7, srcs=(6,), service=service
+        )
+        yield Instruction(
+            pc=base_pc + 16,
+            op=OpClass.BRANCH,
+            srcs=(7,),
+            target=base_pc,
+            taken=not last,
+            service=service,
+        )
+
+
+def chain(*streams: Iterable[Instruction]) -> Iterator[Instruction]:
+    """Concatenate instruction streams."""
+    return itertools.chain(*streams)
+
+
+def take(stream: Iterable[Instruction], count: int) -> list[Instruction]:
+    """Materialise the first ``count`` instructions of a stream."""
+    return list(itertools.islice(stream, count))

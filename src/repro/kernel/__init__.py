@@ -1,0 +1,38 @@
+"""IRIX-like operating-system model: modes, services, scheduler, idle."""
+
+from repro.kernel.idle import IDLE_LOOP_LENGTH, IDLE_PC, idle_loop
+from repro.kernel.kernel import Kernel, SyscallResult
+from repro.kernel.modes import (
+    EXTERNAL_SERVICES,
+    IDLE_LABEL,
+    INTERNAL_SERVICES,
+    KERNEL_SERVICES,
+    SYNC_LABEL,
+    ExecutionMode,
+    mode_of_label,
+)
+from repro.kernel.scheduler import (
+    InterleavedWorkload,
+    ServiceRate,
+    SyscallPlan,
+)
+from repro.kernel.services import KernelServices
+
+__all__ = [
+    "IDLE_LOOP_LENGTH",
+    "IDLE_PC",
+    "idle_loop",
+    "Kernel",
+    "SyscallResult",
+    "EXTERNAL_SERVICES",
+    "IDLE_LABEL",
+    "INTERNAL_SERVICES",
+    "KERNEL_SERVICES",
+    "SYNC_LABEL",
+    "ExecutionMode",
+    "mode_of_label",
+    "InterleavedWorkload",
+    "ServiceRate",
+    "SyscallPlan",
+    "KernelServices",
+]

@@ -1,0 +1,117 @@
+"""Kernel facade.
+
+Bundles the service bodies, the file cache, and trap handling into the
+object the CPU models and the workload composer talk to.  It plays the
+role IRIX 5.3 plays inside SimOS: it owns what happens on a TLB miss,
+what a system call executes, and whether an I/O request is absorbed by
+the file cache or goes to the disk.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterator
+
+from repro.config.system import SystemConfig
+from repro.isa.instruction import Instruction
+from repro.kernel.services import KernelServices
+from repro.mem.filecache import FileCache
+from repro.mem.hierarchy import MemoryHierarchy
+
+
+@dataclasses.dataclass
+class SyscallResult:
+    """Outcome of one I/O system call."""
+
+    instructions: Iterator[Instruction]
+    """The kernel-mode handler body to execute."""
+    disk_bytes: int
+    """Bytes that must come from the disk (0 = file-cache hit).
+
+    A non-zero value blocks the caller: the scheduler runs the idle
+    process until the disk completes (Section 2: "as the process
+    requesting the I/O is blocked, the operating system schedules the
+    idle process")."""
+
+
+class Kernel:
+    """The operating-system model: traps, services, file cache."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        hierarchy: MemoryHierarchy | None = None,
+        *,
+        file_cache_pages: int = 4096,
+        seed: int = 0,
+    ) -> None:
+        self.config = config
+        self.hierarchy = hierarchy
+        self.services = KernelServices(config, seed=seed)
+        self.file_cache = FileCache(capacity_pages=file_cache_pages)
+        self.invocations: dict[str, int] = {}
+        self._rng = random.Random(0xCE11 ^ seed)
+
+    def _count(self, service: str) -> None:
+        self.invocations[service] = self.invocations.get(service, 0) + 1
+
+    # ------------------------------------------------------------------
+    # Trap client interface (used by the CPU models)
+    # ------------------------------------------------------------------
+
+    def utlb_handler(self, faulting_address: int) -> Iterator[Instruction]:
+        """The fast TLB-refill path; called by the CPU on a TLB miss."""
+        self._count("utlb")
+        return self.services.utlb(faulting_address)
+
+    # ------------------------------------------------------------------
+    # System calls
+    # ------------------------------------------------------------------
+
+    def sys_read(self, file_id: int, offset: int, nbytes: int) -> SyscallResult:
+        """read(): file-cache lookup plus copy-out; may hit the disk."""
+        self._count("read")
+        missing = self.file_cache.lookup(file_id, offset, nbytes)
+        disk_bytes = missing * self.file_cache.page_bytes
+        if missing:
+            self.file_cache.insert(file_id, offset, nbytes)
+        return SyscallResult(
+            instructions=self.services.read(nbytes), disk_bytes=disk_bytes
+        )
+
+    def sys_write(self, file_id: int, offset: int, nbytes: int) -> SyscallResult:
+        """write(): copy-in to the file cache (write-behind, no block)."""
+        self._count("write")
+        self.file_cache.insert(file_id, offset, nbytes)
+        return SyscallResult(instructions=self.services.write(nbytes), disk_bytes=0)
+
+    def sys_open(self, components: int | None = None) -> SyscallResult:
+        """open(): path lookup; directory metadata is cache-resident."""
+        self._count("open")
+        return SyscallResult(instructions=self.services.open(components), disk_bytes=0)
+
+    # ------------------------------------------------------------------
+    # Internal services
+    # ------------------------------------------------------------------
+
+    def page_fault_zero(self) -> Iterator[Instruction]:
+        """A demand-zero fault on a newly-touched anonymous page."""
+        self._count("demand_zero")
+        return self.services.demand_zero()
+
+    def flush_caches(self) -> Iterator[Instruction]:
+        """cacheflush(), with the architectural flush applied."""
+        self._count("cacheflush")
+        return self.services.cacheflush(self.hierarchy)
+
+    def invoke_service(self, name: str, **kwargs) -> Iterator[Instruction]:
+        """Invoke any Table 4 service by name (counted)."""
+        self._count(name)
+        if name == "cacheflush" and "hierarchy" not in kwargs:
+            kwargs["hierarchy"] = self.hierarchy
+        return self.services.invoke(name, **kwargs)
+
+    def sync_section(self, spins: int | None = None) -> Iterator[Instruction]:
+        """A kernel synchronisation episode (its own software mode)."""
+        return self.services.sync_section(spins)

@@ -1,0 +1,63 @@
+"""Software execution modes.
+
+The paper decomposes execution into four software modes (Section 3.2):
+user, kernel instructions, kernel synchronization, and idle.  Kernel
+execution further decomposes into named services (Section 3.3).  Every
+instruction in our streams carries a *label* (``Instruction.service``);
+this module maps labels onto modes.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class ExecutionMode(enum.Enum):
+    """The four software modes of Section 3.2."""
+
+    USER = "user"
+    KERNEL = "kernel"
+    SYNC = "sync"
+    IDLE = "idle"
+
+
+IDLE_LABEL = "idle"
+"""Label carried by idle-process instructions."""
+
+SYNC_LABEL = "kernel_sync"
+"""Label carried by kernel synchronisation operations."""
+
+#: The kernel services characterised in Section 3.3 / Table 4.
+KERNEL_SERVICES: tuple[str, ...] = (
+    "utlb",
+    "read",
+    "write",
+    "open",
+    "demand_zero",
+    "cacheflush",
+    "vfault",
+    "tlb_miss",
+    "BSD",
+    "du_poll",
+    "xstat",
+    "clock",
+)
+
+#: Services internal to the kernel vs invoked from user programs;
+#: Table 5 shows internal services have near-constant per-invocation
+#: energy while externally-invoked (I/O) services vary with their data.
+INTERNAL_SERVICES: frozenset[str] = frozenset(
+    {"utlb", "demand_zero", "cacheflush", "vfault", "tlb_miss", "clock", "du_poll"}
+)
+EXTERNAL_SERVICES: frozenset[str] = frozenset({"read", "write", "open", "BSD", "xstat"})
+
+
+def mode_of_label(label: str | None) -> ExecutionMode:
+    """Map an instruction label to its software mode."""
+    if label is None:
+        return ExecutionMode.USER
+    if label == IDLE_LABEL:
+        return ExecutionMode.IDLE
+    if label == SYNC_LABEL:
+        return ExecutionMode.SYNC
+    return ExecutionMode.KERNEL

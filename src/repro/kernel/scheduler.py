@@ -1,0 +1,162 @@
+"""Workload composition: interleaving user code with kernel activity.
+
+The detailed CPU simulations run *interleaved* streams — user code with
+system calls, internal kernel services, and synchronisation episodes
+mixed in at configured rates — so that the cross-mode effects the paper
+measures (cache pollution between user and kernel code, TLB pressure,
+utlb traps inside user windows) emerge from the simulation itself.
+
+Rates are expressed as mean user instructions between invocations and
+drawn from exponential gaps, deterministic per seed.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import random
+from typing import Iterable, Iterator
+
+from repro.isa.instruction import Instruction, OpClass
+from repro.kernel.kernel import Kernel
+
+SYSCALL_PC_OFFSET = 0x400
+
+
+@dataclasses.dataclass(frozen=True)
+class ServiceRate:
+    """One scheduled kernel activity."""
+
+    service: str
+    mean_gap_instructions: float
+    """Mean user instructions between invocations."""
+    kwargs: tuple[tuple[str, object], ...] = ()
+
+    def __post_init__(self) -> None:
+        if self.mean_gap_instructions <= 0:
+            raise ValueError(
+                f"{self.service}: mean gap must be positive, "
+                f"got {self.mean_gap_instructions}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class SyscallPlan:
+    """I/O system-call schedule (read/write/open against real files)."""
+
+    mean_gap_instructions: float
+    read_weight: float = 0.7
+    write_weight: float = 0.15
+    open_weight: float = 0.15
+    file_count: int = 8
+    file_bytes: int = 512 * 1024
+
+    def __post_init__(self) -> None:
+        if self.mean_gap_instructions <= 0:
+            raise ValueError("syscall mean gap must be positive")
+        total = self.read_weight + self.write_weight + self.open_weight
+        if total <= 0:
+            raise ValueError("at least one syscall weight must be positive")
+
+
+class InterleavedWorkload:
+    """Merges a user stream with scheduled kernel activity.
+
+    The result is a single instruction stream: user instructions flow
+    through; at exponentially-distributed gaps a SYSCALL instruction is
+    emitted (at the current user PC region) followed by the kernel
+    handler body; internal services and sync sections are injected the
+    same way.  utlb activity is *not* scheduled here — it emerges from
+    TLB misses taken by the CPU while executing this stream.
+    """
+
+    def __init__(
+        self,
+        user_stream: Iterable[Instruction],
+        kernel: Kernel,
+        *,
+        service_rates: Iterable[ServiceRate] = (),
+        syscalls: SyscallPlan | None = None,
+        sync_mean_gap: float | None = None,
+        seed: int = 0,
+    ) -> None:
+        self.kernel = kernel
+        self._user = iter(user_stream)
+        self._rates = list(service_rates)
+        self._syscalls = syscalls
+        self._sync_mean_gap = sync_mean_gap
+        self._rng = random.Random(0x1417E12 ^ seed)
+        self._pending: list[tuple[int, int]] = []
+        self.io_requests: list[tuple[int, int]] = []
+        """(user-instruction index, disk bytes) for every I/O that
+        missed the file cache; the timeline layer converts these into
+        disk requests and idle periods."""
+        self._next_fire: dict[int, int] = {}
+
+    def _draw_gap(self, mean: float) -> int:
+        return max(1, int(self._rng.expovariate(1.0 / mean)))
+
+    def _emit_syscall_marker(self, user_pc: int) -> Instruction:
+        return Instruction(
+            pc=(user_pc & ~0xFFF) + SYSCALL_PC_OFFSET,
+            op=OpClass.SYSCALL,
+            taken=False,
+        )
+
+    def _run_syscall(self, index: int) -> Iterator[Instruction]:
+        plan = self._syscalls
+        assert plan is not None
+        weights = (plan.read_weight, plan.write_weight, plan.open_weight)
+        kind = self._rng.choices(("read", "write", "open"), weights=weights)[0]
+        file_id = self._rng.randrange(plan.file_count)
+        if kind == "read":
+            nbytes = self.kernel.services.draw_read_size()
+            offset = self._rng.randrange(0, max(1, plan.file_bytes - nbytes))
+            result = self.kernel.sys_read(file_id, offset, nbytes)
+            if result.disk_bytes:
+                self.io_requests.append((index, result.disk_bytes))
+            yield from result.instructions
+        elif kind == "write":
+            nbytes = self.kernel.services.draw_write_size()
+            offset = self._rng.randrange(0, max(1, plan.file_bytes - nbytes))
+            result = self.kernel.sys_write(file_id, offset, nbytes)
+            yield from result.instructions
+        else:
+            yield from self.kernel.sys_open().instructions
+
+    def __iter__(self) -> Iterator[Instruction]:
+        # Initialise per-activity next-fire counters.
+        fires: list[tuple[int, str]] = []  # mutable schedule of (countdown, tag)
+        schedule: dict[str, int] = {}
+        for rate in self._rates:
+            schedule[f"svc:{rate.service}"] = self._draw_gap(rate.mean_gap_instructions)
+        if self._syscalls is not None:
+            schedule["sys"] = self._draw_gap(self._syscalls.mean_gap_instructions)
+        if self._sync_mean_gap is not None:
+            schedule["sync"] = self._draw_gap(self._sync_mean_gap)
+        rate_by_tag = {f"svc:{rate.service}": rate for rate in self._rates}
+
+        index = 0
+        last_pc = 0x0040_0000
+        for instr in self._user:
+            yield instr
+            last_pc = instr.pc
+            index += 1
+            for tag in list(schedule):
+                schedule[tag] -= 1
+                if schedule[tag] > 0:
+                    continue
+                if tag == "sys":
+                    yield self._emit_syscall_marker(last_pc)
+                    yield from self._run_syscall(index)
+                    schedule[tag] = self._draw_gap(
+                        self._syscalls.mean_gap_instructions
+                    )
+                elif tag == "sync":
+                    yield from self.kernel.sync_section()
+                    schedule[tag] = self._draw_gap(self._sync_mean_gap)
+                else:
+                    rate = rate_by_tag[tag]
+                    yield from self.kernel.invoke_service(
+                        rate.service, **dict(rate.kwargs)
+                    )
+                    schedule[tag] = self._draw_gap(rate.mean_gap_instructions)

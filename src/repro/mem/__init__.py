@@ -1,0 +1,21 @@
+"""Memory hierarchy substrate: caches, TLB, DRAM, file cache."""
+
+from repro.mem.cache import Cache, CacheStats
+from repro.mem.dram import DRAMStats, MainMemory
+from repro.mem.filecache import FileCache, FileCacheStats
+from repro.mem.hierarchy import KSEG_BASE, AccessResult, MemoryHierarchy
+from repro.mem.tlb import TLB, TLBStats
+
+__all__ = [
+    "Cache",
+    "CacheStats",
+    "DRAMStats",
+    "MainMemory",
+    "FileCache",
+    "FileCacheStats",
+    "KSEG_BASE",
+    "AccessResult",
+    "MemoryHierarchy",
+    "TLB",
+    "TLBStats",
+]

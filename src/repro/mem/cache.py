@@ -1,0 +1,105 @@
+"""Set-associative cache model.
+
+A classic LRU set-associative cache with write-back/write-allocate or
+write-through behaviour, used for the L1 I/D caches and the unified L2
+of Table 1.  The model tracks hits, misses, and write-backs; access
+counts are recorded by the enclosing :mod:`repro.mem.hierarchy` into
+the shared counters.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.system import CacheConfig
+
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss statistics for one cache."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+    writebacks: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio over all accesses (0.0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class Cache:
+    """One level of set-associative cache with true-LRU replacement.
+
+    Lines are identified by block address (``address // line_bytes``).
+    Each set is an ordered dict from tag to a dirty bit; ordering
+    encodes recency (last item = most recently used).
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self.config = config
+        self.stats = CacheStats()
+        self._offset_bits = config.line_bytes.bit_length() - 1
+        self._index_mask = config.num_sets - 1
+        self._sets: list[dict[int, bool]] = [dict() for _ in range(config.num_sets)]
+
+    def _locate(self, address: int) -> tuple[dict[int, bool], int]:
+        block = address >> self._offset_bits
+        index = block & self._index_mask
+        tag = block >> (self._index_mask.bit_length())
+        return self._sets[index], tag
+
+    def access(self, address: int, *, write: bool = False) -> tuple[bool, bool]:
+        """Access the line containing ``address``.
+
+        Returns ``(hit, writeback)`` where ``writeback`` reports whether
+        a dirty line was evicted to make room.  On a miss the line is
+        allocated (write-allocate).  Write-through caches never mark
+        lines dirty, so they never produce writebacks.
+        """
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        cache_set, tag = self._locate(address)
+        self.stats.accesses += 1
+        dirty_on_write = write and self.config.write_back
+        if tag in cache_set:
+            self.stats.hits += 1
+            dirty = cache_set.pop(tag) or dirty_on_write
+            cache_set[tag] = dirty
+            return True, False
+        self.stats.misses += 1
+        writeback = False
+        if len(cache_set) >= self.config.associativity:
+            _victim_tag, victim_dirty = next(iter(cache_set.items()))
+            del cache_set[_victim_tag]
+            if victim_dirty:
+                writeback = True
+                self.stats.writebacks += 1
+        cache_set[tag] = dirty_on_write
+        return False, writeback
+
+    def probe(self, address: int) -> bool:
+        """Return True if the line is resident, without touching state."""
+        cache_set, tag = self._locate(address)
+        return tag in cache_set
+
+    def invalidate_all(self) -> int:
+        """Drop every line (the ``cacheflush`` service); returns lines dropped."""
+        dropped = 0
+        for cache_set in self._sets:
+            dropped += len(cache_set)
+            cache_set.clear()
+        return dropped
+
+    def resident_lines(self) -> int:
+        """Number of valid lines currently held."""
+        return sum(len(cache_set) for cache_set in self._sets)
+
+    def __repr__(self) -> str:
+        return (
+            f"Cache({self.config.name}, {self.config.size_bytes}B, "
+            f"{self.config.associativity}-way, {self.stats.accesses} accesses)"
+        )

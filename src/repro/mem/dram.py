@@ -1,0 +1,40 @@
+"""Main-memory model.
+
+A flat-latency DRAM model: every L2 miss costs a fixed number of core
+cycles and one counted memory access.  The per-access energy is high
+relative to the on-chip structures (Section 3.2 observes that "the L2
+cache and memory have a high per-access cost", which produces the steep
+memory-power ramp during the cold-start period).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.system import MemoryConfig
+
+
+@dataclasses.dataclass
+class DRAMStats:
+    """Access statistics for main memory."""
+
+    accesses: int = 0
+    reads: int = 0
+    writes: int = 0
+
+
+class MainMemory:
+    """Fixed-latency main memory."""
+
+    def __init__(self, config: MemoryConfig) -> None:
+        self.config = config
+        self.stats = DRAMStats()
+
+    def access(self, *, write: bool = False) -> int:
+        """Perform one access; returns its latency in core cycles."""
+        self.stats.accesses += 1
+        if write:
+            self.stats.writes += 1
+        else:
+            self.stats.reads += 1
+        return self.config.access_latency_cycles

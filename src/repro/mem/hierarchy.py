@@ -1,0 +1,172 @@
+"""Memory hierarchy composition.
+
+Wires the L1 I/D caches, the unified L2, main memory, and the unified
+software-managed TLB into the two access paths the CPU models use:
+instruction fetch and data access.  All port activity is recorded into
+a shared :class:`~repro.stats.counters.AccessCounters` instance.
+
+Address-space convention (MIPS-like): addresses at or above
+``KSEG_BASE`` are kernel direct-mapped space and bypass the TLB — this
+is how the real ``utlb`` handler can itself run and touch page tables
+without recursively missing in the TLB.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.system import SystemConfig
+from repro.mem.cache import Cache
+from repro.mem.dram import MainMemory
+from repro.mem.tlb import TLB
+from repro.stats.counters import AccessCounters
+
+KSEG_BASE = 0x8000_0000
+"""Start of the unmapped kernel segment (no TLB translation)."""
+
+
+@dataclasses.dataclass(frozen=True, slots=True)
+class AccessResult:
+    """Outcome of one hierarchy access."""
+
+    latency: int
+    """Stall cycles beyond the pipelined L1 hit path."""
+    tlb_miss: bool
+    """True when the access needs a TLB refill before it can complete.
+
+    Under a software-managed TLB the caller must raise the ``utlb``
+    trap and retry; under hardware refill the latency already includes
+    the refill cost and the access completed."""
+
+
+_HIT = AccessResult(latency=0, tlb_miss=False)
+
+
+class MemoryHierarchy:
+    """Two-level cache hierarchy with a unified TLB in front."""
+
+    def __init__(self, config: SystemConfig, counters: AccessCounters) -> None:
+        self.config = config
+        self.counters = counters
+        self.l1i = Cache(config.l1i)
+        self.l1d = Cache(config.l1d)
+        self.l2 = Cache(config.l2)
+        self.tlb = TLB(config.tlb)
+        self.memory = MainMemory(config.memory)
+
+    # ------------------------------------------------------------------
+    # TLB
+    # ------------------------------------------------------------------
+
+    def _translate(self, address: int) -> bool:
+        """Look up ``address``; returns True if a software refill is needed."""
+        if address >= KSEG_BASE:
+            return False
+        self.counters.tlb_access += 1
+        if self.tlb.access(address):
+            return False
+        self.counters.tlb_miss += 1
+        if self.config.tlb.software_managed:
+            return True
+        # Hardware refill: install the mapping invisibly.
+        self.tlb.refill(address)
+        return False
+
+    def tlb_refill(self, address: int) -> None:
+        """Install a mapping (called by the ``utlb`` handler)."""
+        self.tlb.refill(address)
+
+    # ------------------------------------------------------------------
+    # Shared L2 path
+    # ------------------------------------------------------------------
+
+    def _l2_fill(self, address: int, *, from_instruction: bool, write: bool = False) -> int:
+        """Access the L2 on an L1 miss; returns the total stall latency.
+
+        ``from_instruction`` attributes the access to the L2's I-side
+        or D-side for the paper's L2I/L2D energy split.
+        """
+        if from_instruction:
+            self.counters.l2i_access += 1
+        else:
+            self.counters.l2d_access += 1
+        hit, writeback = self.l2.access(address, write=write)
+        latency = self.config.l2.latency_cycles
+        if not hit:
+            self.counters.l2_miss += 1
+            self.counters.mem_access += 1
+            latency += self.memory.access()
+        if writeback:
+            self.counters.mem_access += 1
+            self.memory.access(write=True)
+        return latency
+
+    # ------------------------------------------------------------------
+    # Access paths
+    # ------------------------------------------------------------------
+
+    def fetch(self, pc: int) -> AccessResult:
+        """Fetch the instruction at ``pc`` through the I-side."""
+        if self._translate(pc):
+            return AccessResult(latency=0, tlb_miss=True)
+        self.counters.l1i_access += 1
+        hit, _writeback = self.l1i.access(pc)
+        if hit:
+            return _HIT
+        self.counters.l1i_miss += 1
+        return AccessResult(
+            latency=self._l2_fill(pc, from_instruction=True), tlb_miss=False
+        )
+
+    def data_access(self, address: int, *, write: bool = False) -> AccessResult:
+        """Access data at ``address`` through the D-side."""
+        if self._translate(address):
+            return AccessResult(latency=0, tlb_miss=True)
+        self.counters.l1d_access += 1
+        hit, writeback = self.l1d.access(address, write=write)
+        if hit:
+            return _HIT
+        self.counters.l1d_miss += 1
+        latency = self._l2_fill(address, from_instruction=False)
+        if writeback:
+            # Dirty L1 victim drains to L2 via the write buffer.
+            self.counters.l2d_access += 1
+            self.l2.access(address ^ (1 << 20), write=True)
+        return AccessResult(latency=latency, tlb_miss=False)
+
+    # ------------------------------------------------------------------
+    # Maintenance operations (kernel services)
+    # ------------------------------------------------------------------
+
+    def flush_caches(self) -> int:
+        """Invalidate both L1 caches (the ``cacheflush`` service)."""
+        return self.l1i.invalidate_all() + self.l1d.invalidate_all()
+
+    def flush_tlb(self) -> int:
+        """Drop all TLB entries (context switch)."""
+        return self.tlb.flush()
+
+    def warm(self, addresses: list[int]) -> None:
+        """Pre-load lines and mappings without counting events.
+
+        Used to model the paper's methodology of warming file caches
+        and taking a checkpoint before profiling begins.  Counter state
+        is restored afterwards so warming is invisible to the profile;
+        per-cache hit/miss statistics are reset.
+        """
+        saved = self.counters.copy()
+        for address in addresses:
+            if address < KSEG_BASE:
+                self.tlb.refill(address)
+            self.l1d.access(address)
+            self.l2.access(address)
+        for name, value in saved.items():
+            setattr(self.counters, name, value)
+        for cache in (self.l1i, self.l1d, self.l2):
+            cache.stats.accesses = 0
+            cache.stats.hits = 0
+            cache.stats.misses = 0
+            cache.stats.writebacks = 0
+        self.tlb.stats.accesses = 0
+        self.tlb.stats.hits = 0
+        self.tlb.stats.misses = 0

@@ -1,0 +1,92 @@
+"""Unified, fully-associative, software-managed TLB.
+
+MIPS processors expose TLB refills to software: on a miss the processor
+traps and the operating system's ``utlb`` handler performs the address
+translation, reloads the TLB, and restarts the faulting instruction
+(Section 3.3).  This model implements the 64-entry fully-associative
+unified TLB of Table 1 with true-LRU replacement.  Whether a miss is
+serviced in software (raising a kernel event) or in hardware is decided
+by the enclosing hierarchy from the TLB configuration.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.config.system import TLBConfig
+
+
+@dataclasses.dataclass
+class TLBStats:
+    """Access statistics."""
+
+    accesses: int = 0
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def miss_rate(self) -> float:
+        """Miss ratio over all accesses (0.0 when idle)."""
+        if self.accesses == 0:
+            return 0.0
+        return self.misses / self.accesses
+
+
+class TLB:
+    """Fully-associative translation lookaside buffer with LRU."""
+
+    def __init__(self, config: TLBConfig) -> None:
+        self.config = config
+        self.stats = TLBStats()
+        self._page_shift = config.page_bytes.bit_length() - 1
+        # dict preserves insertion order; last entry = most recently used.
+        self._entries: dict[int, None] = {}
+
+    def page_of(self, address: int) -> int:
+        """Virtual page number containing ``address``."""
+        return address >> self._page_shift
+
+    def access(self, address: int) -> bool:
+        """Translate ``address``; returns True on hit.
+
+        On a miss, the entry is *not* inserted: on a software-managed
+        TLB the refill is performed by the ``utlb`` handler, which must
+        call :meth:`refill` explicitly.  (The hardware-refill ablation
+        calls refill immediately from the hierarchy.)
+        """
+        if address < 0:
+            raise ValueError(f"address must be non-negative, got {address}")
+        page = self.page_of(address)
+        self.stats.accesses += 1
+        if page in self._entries:
+            self.stats.hits += 1
+            del self._entries[page]
+            self._entries[page] = None
+            return True
+        self.stats.misses += 1
+        return False
+
+    def refill(self, address: int) -> None:
+        """Install the mapping for the page containing ``address``."""
+        page = self.page_of(address)
+        if page in self._entries:
+            del self._entries[page]
+        elif len(self._entries) >= self.config.entries:
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[page] = None
+
+    def contains(self, address: int) -> bool:
+        """True if the page is mapped, without touching LRU state."""
+        return self.page_of(address) in self._entries
+
+    def flush(self) -> int:
+        """Drop all entries (context switch); returns entries dropped."""
+        dropped = len(self._entries)
+        self._entries.clear()
+        return dropped
+
+    @property
+    def occupancy(self) -> int:
+        """Number of valid entries."""
+        return len(self._entries)

@@ -1,0 +1,45 @@
+"""Main-memory (DRAM) energy model.
+
+A flat per-access energy at the board level: row activation, column
+access, and bus transfer for one cache-line fill.  The value is high
+relative to on-chip structures — Section 3.2: "the L2 cache and memory
+have a high per-access cost", which is what makes the memory
+subsystem's average power spike during the cold-start period of every
+profile.
+"""
+
+from __future__ import annotations
+
+from repro.config.technology import (
+    DEFAULT_TECHNOLOGY,
+    DRAM_ENERGY_PER_ACCESS_J,
+    Technology,
+)
+
+DRAM_REFRESH_POWER_W = 0.035
+"""Background refresh power of the 128 MB array (watts)."""
+
+
+class MemoryEnergyModel:
+    """Energy for main-memory accesses plus background refresh."""
+
+    def __init__(
+        self,
+        *,
+        access_energy_j: float = DRAM_ENERGY_PER_ACCESS_J,
+        refresh_power_w: float = DRAM_REFRESH_POWER_W,
+        technology: Technology = DEFAULT_TECHNOLOGY,
+    ) -> None:
+        if access_energy_j <= 0 or refresh_power_w < 0:
+            raise ValueError("memory energy parameters must be positive")
+        self.access_energy_j = access_energy_j
+        self.refresh_power_w = refresh_power_w
+        self.technology = technology
+
+    def energy_j(self, accesses: int, cycles: int) -> float:
+        """Total memory energy over a window of ``cycles`` cycles."""
+        if accesses < 0 or cycles < 0:
+            raise ValueError("accesses and cycles cannot be negative")
+        active = accesses * self.access_energy_j
+        refresh = self.refresh_power_w * cycles * self.technology.cycle_time_s
+        return active + refresh

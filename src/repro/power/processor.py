@@ -1,0 +1,276 @@
+"""Full-processor power model and its R10000 validation.
+
+Assembles the per-structure analytical models into SoftWatt's
+post-processing interface: given the access counters of any interval
+(a whole run, a sample window, one kernel-service invocation), return
+the energy of each reported category —
+
+``datapath`` (window, LSQ, rename, ROB, register file, result bus,
+ALUs, predictors, TLB — the units the paper clubs together in its
+graphs), ``l1i``, ``l1d``, ``l2i``, ``l2d``, ``clock``, ``memory``.
+
+Validation (Section 2): configured to estimate the maximum power of
+the R10000, SoftWatt reports 25.3 W against the 30 W datasheet figure;
+:func:`r10000_max_power` reproduces that number with this model.
+"""
+
+from __future__ import annotations
+
+from repro.config.system import SystemConfig
+from repro.config.technology import DEFAULT_TECHNOLOGY, Technology
+from repro.power.array import ArrayEnergyModel, CAMEnergyModel
+from repro.power.bitlines import CacheEnergyModel
+from repro.power.clocktree import ClockNetworkModel
+from repro.power.conditional import ClockedUnit, gating_factor
+from repro.power.functional import FunctionalUnitEnergyModel
+from repro.power.memory_power import MemoryEnergyModel
+from repro.stats.counters import AccessCounters
+
+#: Categories reported by the model, in the paper's legend order.
+CATEGORIES: tuple[str, ...] = (
+    "datapath",
+    "l1d",
+    "l2d",
+    "l1i",
+    "l2i",
+    "clock",
+    "memory",
+)
+
+PIPELINE_LATCH_BITS = 4 * 6 * 200
+"""Front/back-end pipeline latches: ~200 bits per slot, 4-wide, 6 deep."""
+
+CACHE_CLOCK_WEIGHT = 4
+"""Clocked precharge/sense load per active cache column, in
+latch-bit equivalents."""
+
+PHYS_TAG_BITS = 8
+ADDRESS_BITS = 32
+WORD_BITS = 64
+
+
+class ProcessorPowerModel:
+    """Post-processing power model for one system configuration."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        technology: Technology | None = None,
+    ) -> None:
+        self.config = config
+        self.technology = technology if technology is not None else config.technology
+        tech = self.technology
+        core = config.core
+
+        self.l1i = CacheEnergyModel(
+            config.l1i, output_bits=core.fetch_width * 32, technology=tech
+        )
+        self.l1d = CacheEnergyModel(config.l1d, output_bits=WORD_BITS, technology=tech)
+        self.l2 = CacheEnergyModel(
+            config.l2, output_bits=config.l1d.line_bytes * 8, technology=tech
+        )
+        self.tlb = CAMEnergyModel(
+            "tlb",
+            entries=config.tlb.entries,
+            tag_bits=20,
+            data_bits=24,
+            technology=tech,
+        )
+        registers = core.int_registers + core.fp_registers
+        self.regfile = ArrayEnergyModel(
+            "regfile", rows=registers, bits_per_row=WORD_BITS, technology=tech
+        )
+        self.window_array = ArrayEnergyModel(
+            "window", rows=core.window_size, bits_per_row=96, technology=tech
+        )
+        self.wakeup_cam = CAMEnergyModel(
+            "wakeup",
+            entries=core.window_size,
+            tag_bits=PHYS_TAG_BITS,
+            technology=tech,
+        )
+        self.lsq = CAMEnergyModel(
+            "lsq",
+            entries=core.lsq_size,
+            tag_bits=ADDRESS_BITS,
+            data_bits=WORD_BITS,
+            technology=tech,
+        )
+        self.rename = ArrayEnergyModel(
+            "rename", rows=64, bits_per_row=PHYS_TAG_BITS, technology=tech
+        )
+        self.rob = ArrayEnergyModel(
+            "rob", rows=core.window_size, bits_per_row=40, technology=tech
+        )
+        self.bht = ArrayEnergyModel(
+            "bht", rows=core.bht_entries, bits_per_row=2, technology=tech
+        )
+        self.btb = ArrayEnergyModel(
+            "btb", rows=core.btb_entries, bits_per_row=ADDRESS_BITS + 20, technology=tech
+        )
+        self.ras = ArrayEnergyModel(
+            "ras", rows=core.ras_entries, bits_per_row=ADDRESS_BITS, technology=tech
+        )
+        self.fus = FunctionalUnitEnergyModel(technology=tech)
+        self.memory = MemoryEnergyModel(technology=tech)
+
+        self.clocked_units: tuple[ClockedUnit, ...] = (
+            ClockedUnit("pipeline", PIPELINE_LATCH_BITS, "window_dispatch", core.decode_width),
+            ClockedUnit("l1i", self.l1i.data_columns, "l1i_access", core.fetch_width),
+            ClockedUnit("l1d", self.l1d.data_columns, "l1d_access", 2),
+            ClockedUnit("window", self.window_array.latch_bits, "window_issue", core.issue_width),
+            ClockedUnit("lsq", self.lsq.latch_bits, "lsq_access", 1),
+            ClockedUnit("regfile", self.regfile.latch_bits, "regfile_read", 2 * core.issue_width),
+            ClockedUnit("rob", self.rob.latch_bits, "rob_access", 2 * core.commit_width),
+            ClockedUnit("fus", 2800, "ialu_access", core.int_alus),
+        )
+        cache_clock_bits = CACHE_CLOCK_WEIGHT * (
+            self.l1i.data_columns
+            + self.l1i.tag_columns
+            + self.l1d.data_columns
+            + self.l1d.tag_columns
+            + self.l2.data_columns
+            + self.l2.tag_columns
+        )
+        clocked_bits = (
+            PIPELINE_LATCH_BITS
+            + cache_clock_bits
+            + sum(
+                model.latch_bits
+                for model in (
+                    self.regfile,
+                    self.window_array,
+                    self.wakeup_cam,
+                    self.lsq,
+                    self.rename,
+                    self.rob,
+                )
+            )
+        )
+        self.clock = ClockNetworkModel(clocked_bits, technology=tech)
+
+    # ------------------------------------------------------------------
+    # Interval energy
+    # ------------------------------------------------------------------
+
+    def energy_by_category(
+        self, counters: AccessCounters, cycles: int
+    ) -> dict[str, float]:
+        """Energy in joules per reported category over an interval."""
+        if cycles <= 0:
+            raise ValueError(f"cycles must be positive, got {cycles}")
+        c = counters
+
+        # Caches: reads and writes blended from the observed mix.
+        data_writes = min(c.stores, c.l1d_access)
+        l1d_energy = (c.l1d_access - data_writes) * self.l1d.read_energy_j() + (
+            data_writes * self.l1d.write_energy_j()
+        )
+        l1i_energy = c.l1i_access * self.l1i.read_energy_j()
+        l2i_energy = c.l2i_access * self.l2.read_energy_j()
+        l2d_energy = c.l2d_access * self.l2.access_energy_j(write_fraction=0.3)
+
+        datapath = (
+            c.tlb_access * self.tlb.search_energy_j()
+            + c.tlb_miss * self.tlb.write_energy_j()
+            + c.regfile_read * self.regfile.access_energy_j()
+            + c.regfile_write * self.regfile.access_energy_j(write=True)
+            + c.window_dispatch * self.window_array.access_energy_j(write=True)
+            + c.window_issue * self.window_array.access_energy_j()
+            + c.window_wakeup * self.wakeup_cam.search_energy_j()
+            + c.lsq_access * self.lsq.search_energy_j()
+            + c.rename_access
+            * (self.rename.access_energy_j() + self.rename.access_energy_j(write=True))
+            / 2.0
+            + c.rob_access * self.rob.access_energy_j(write=True) * 0.6
+            + c.bpred_access * self.bht.access_energy_j()
+            + c.btb_access * self.btb.access_energy_j()
+            + c.ras_access * self.ras.access_energy_j()
+            + c.ialu_access * self.fus.ialu_energy_j()
+            + c.imul_access * self.fus.imul_energy_j()
+            + c.falu_access * self.fus.falu_energy_j()
+            + c.fmul_access * self.fus.fmul_energy_j()
+            + c.resultbus_access * self.fus.result_bus_energy_j()
+        )
+
+        gate = gating_factor(counters, cycles, self.clocked_units)
+        clock_energy = cycles * self.clock.energy_per_cycle_j(gating_factor=gate)
+
+        memory_energy = self.memory.energy_j(c.mem_access, cycles)
+
+        return {
+            "datapath": datapath,
+            "l1d": l1d_energy,
+            "l2d": l2d_energy,
+            "l1i": l1i_energy,
+            "l2i": l2i_energy,
+            "clock": clock_energy,
+            "memory": memory_energy,
+        }
+
+    def total_energy_j(self, counters: AccessCounters, cycles: int) -> float:
+        """Total CPU + memory-hierarchy energy over an interval."""
+        return sum(self.energy_by_category(counters, cycles).values())
+
+    def average_power_w(
+        self, counters: AccessCounters, cycles: int
+    ) -> dict[str, float]:
+        """Average power in watts per category over an interval."""
+        energies = self.energy_by_category(counters, cycles)
+        seconds = cycles * self.technology.cycle_time_s
+        return {name: value / seconds for name, value in energies.items()}
+
+    # ------------------------------------------------------------------
+    # Validation (Section 2)
+    # ------------------------------------------------------------------
+
+    def max_power_counters(self, cycles: int = 1_000_000) -> AccessCounters:
+        """Counters with every port of every unit busy every cycle."""
+        core = self.config.core
+        return AccessCounters(
+            l1i_access=core.fetch_width * cycles,
+            l1d_access=2 * cycles,
+            l2i_access=cycles,
+            l2d_access=cycles,
+            tlb_access=(core.fetch_width + 2) * cycles,
+            regfile_read=2 * core.issue_width * cycles,
+            regfile_write=core.commit_width * cycles,
+            window_dispatch=core.decode_width * cycles,
+            window_issue=core.issue_width * cycles,
+            window_wakeup=core.issue_width * cycles,
+            lsq_access=cycles,
+            rename_access=core.decode_width * cycles,
+            rob_access=2 * core.commit_width * cycles,
+            bpred_access=core.fetch_width * cycles,
+            btb_access=core.fetch_width * cycles,
+            ras_access=cycles,
+            ialu_access=core.int_alus * cycles,
+            imul_access=cycles,
+            falu_access=core.fp_alus * cycles,
+            fmul_access=core.fp_alus * cycles,
+            resultbus_access=core.issue_width * cycles,
+            loads=cycles // 2,
+            stores=cycles // 2,
+        )
+
+    def max_power_w(self) -> float:
+        """Maximum CPU power: all ports busy, clock ungated.
+
+        Main-memory power is excluded — the validation target is the
+        processor's datasheet maximum.
+        """
+        cycles = 1_000_000
+        counters = self.max_power_counters(cycles)
+        energies = self.energy_by_category(counters, cycles)
+        seconds = cycles * self.technology.cycle_time_s
+        on_chip = sum(value for name, value in energies.items() if name != "memory")
+        return on_chip / seconds
+
+
+def r10000_max_power(technology: Technology | None = None) -> float:
+    """The Section 2 validation number (~25.3 W vs the 30 W datasheet)."""
+    from repro.config.system import SystemConfig
+
+    config = SystemConfig.table1()
+    tech = technology if technology is not None else DEFAULT_TECHNOLOGY
+    return ProcessorPowerModel(config, technology=tech).max_power_w()

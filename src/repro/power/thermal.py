@@ -1,0 +1,124 @@
+"""Lumped thermal model for dynamic thermal management studies.
+
+The paper motivates average-power design through DTM: "In the presence
+of dynamic thermal management techniques, a system can be designed
+accounting for average power consumption instead of peak power
+[Brooks & Martonosi, HPCA-7]" (Section 3.1).  This module closes that
+loop: it drives a first-order lumped RC package model with a power
+trace and checks whether a DTM throttle would ever have to engage.
+
+Model: ``C_th * dT/dt = P(t) - (T - T_ambient) / R_th``, integrated
+per log interval (exact exponential update per piecewise-constant
+power).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import math
+
+from repro.stats.postprocess import PowerTrace
+
+R_THERMAL_C_PER_W = 1.8
+"""Junction-to-ambient thermal resistance of a late-90s ceramic package
+with a heatsink (degC per watt)."""
+
+C_THERMAL_J_PER_C = 25.0
+"""Lumped thermal capacitance (joules per degC)."""
+
+T_AMBIENT_C = 45.0
+"""Ambient (in-chassis) temperature."""
+
+DTM_TRIP_C = 85.0
+"""Junction temperature at which a DTM throttle must engage."""
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalProfile:
+    """Temperature over time for one run."""
+
+    times_s: list[float]
+    temperature_c: list[float]
+    trip_c: float
+
+    @property
+    def peak_c(self) -> float:
+        """Hottest sampled temperature."""
+        return max(self.temperature_c) if self.temperature_c else T_AMBIENT_C
+
+    @property
+    def steady_state_margin_c(self) -> float:
+        """Headroom between the trip point and the final temperature."""
+        final = self.temperature_c[-1] if self.temperature_c else T_AMBIENT_C
+        return self.trip_c - final
+
+    @property
+    def dtm_engaged(self) -> bool:
+        """True if the throttle trip point was ever crossed."""
+        return self.peak_c >= self.trip_c
+
+    def time_above(self, threshold_c: float) -> float:
+        """Seconds spent at or above ``threshold_c`` (sample-resolution)."""
+        if len(self.times_s) < 2:
+            return 0.0
+        step = self.times_s[1] - self.times_s[0]
+        return step * sum(1 for t in self.temperature_c if t >= threshold_c)
+
+
+@dataclasses.dataclass(frozen=True)
+class ThermalModel:
+    """First-order RC package model."""
+
+    r_thermal: float = R_THERMAL_C_PER_W
+    c_thermal: float = C_THERMAL_J_PER_C
+    ambient_c: float = T_AMBIENT_C
+    trip_c: float = DTM_TRIP_C
+
+    def __post_init__(self) -> None:
+        if self.r_thermal <= 0 or self.c_thermal <= 0:
+            raise ValueError("thermal R and C must be positive")
+        if self.trip_c <= self.ambient_c:
+            raise ValueError("trip point must exceed ambient")
+
+    @property
+    def time_constant_s(self) -> float:
+        """The package's RC time constant."""
+        return self.r_thermal * self.c_thermal
+
+    def steady_state_c(self, power_w: float) -> float:
+        """Equilibrium temperature under constant ``power_w``."""
+        if power_w < 0:
+            raise ValueError("power cannot be negative")
+        return self.ambient_c + power_w * self.r_thermal
+
+    def sustainable_power_w(self) -> float:
+        """The largest constant power that never trips the throttle."""
+        return (self.trip_c - self.ambient_c) / self.r_thermal
+
+    def profile(
+        self,
+        trace: PowerTrace,
+        *,
+        include_disk: bool = False,
+        initial_c: float | None = None,
+    ) -> ThermalProfile:
+        """Integrate the package temperature along a power trace.
+
+        The CPU package only heats from on-chip power; ``include_disk``
+        exists for enclosure-level what-ifs.
+        """
+        series = trace.total_with_disk_w if include_disk else trace.total_w
+        temperature = initial_c if initial_c is not None else self.ambient_c
+        tau = self.time_constant_s
+        times: list[float] = []
+        temps: list[float] = []
+        previous_t = 0.0
+        for time_s, power_w in zip(trace.times_s, series):
+            dt = max(1e-9, (time_s - previous_t) * 2.0)  # midpoint spacing
+            previous_t = time_s
+            target = self.steady_state_c(max(0.0, power_w))
+            temperature = target + (temperature - target) * math.exp(-dt / tau)
+            times.append(time_s)
+            temps.append(temperature)
+        return ThermalProfile(times_s=times, temperature_c=temps,
+                              trip_c=self.trip_c)

@@ -1,0 +1,122 @@
+"""Hardware event counters.
+
+Every simulated unit records its port activity into an
+:class:`AccessCounters` instance.  The power post-processor later turns
+these counts into energy via the analytical models — mirroring the
+SoftWatt architecture, where the simulators are instrumented to count
+accesses and power is computed from the logs after the fact.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator
+
+#: Every counted event, one per port-class of a modelled unit.
+COUNTER_FIELDS: tuple[str, ...] = (
+    # Memory hierarchy
+    "l1i_access",
+    "l1i_miss",
+    "l1d_access",
+    "l1d_miss",
+    "l2i_access",
+    "l2d_access",
+    "l2_miss",
+    "mem_access",
+    "tlb_access",
+    "tlb_miss",
+    # Out-of-order engine arrays
+    "regfile_read",
+    "regfile_write",
+    "window_dispatch",
+    "window_issue",
+    "window_wakeup",
+    "lsq_access",
+    "rename_access",
+    "rob_access",
+    # Predictors
+    "bpred_access",
+    "btb_access",
+    "ras_access",
+    # Execution
+    "ialu_access",
+    "imul_access",
+    "falu_access",
+    "fmul_access",
+    "resultbus_access",
+    # Pipeline events (used for clock gating and reporting)
+    "fetch_cycles",
+    "active_cycles",
+    "branches",
+    "branch_mispredicts",
+    "loads",
+    "stores",
+)
+
+
+class AccessCounters:
+    """A bundle of monotonically-increasing event counts."""
+
+    __slots__ = COUNTER_FIELDS
+
+    def __init__(self, **initial: int) -> None:
+        for field in COUNTER_FIELDS:
+            setattr(self, field, 0)
+        for name, value in initial.items():
+            if name not in COUNTER_FIELDS:
+                raise AttributeError(f"unknown counter {name!r}")
+            if value < 0:
+                raise ValueError(f"counter {name} cannot be negative")
+            setattr(self, name, value)
+
+    def add(self, other: "AccessCounters") -> None:
+        """Accumulate ``other`` into this instance."""
+        for field in COUNTER_FIELDS:
+            setattr(self, field, getattr(self, field) + getattr(other, field))
+
+    def copy(self) -> "AccessCounters":
+        """Return an independent copy."""
+        clone = AccessCounters()
+        for field in COUNTER_FIELDS:
+            setattr(clone, field, getattr(self, field))
+        return clone
+
+    def delta(self, earlier: "AccessCounters") -> "AccessCounters":
+        """Return ``self - earlier`` (for interval sampling)."""
+        diff = AccessCounters()
+        for field in COUNTER_FIELDS:
+            value = getattr(self, field) - getattr(earlier, field)
+            if value < 0:
+                raise ValueError(f"counter {field} went backwards")
+            setattr(diff, field, value)
+        return diff
+
+    def as_dict(self) -> dict[str, int]:
+        """A plain-dict snapshot (for logs and reports)."""
+        return {field: getattr(self, field) for field in COUNTER_FIELDS}
+
+    def items(self) -> Iterator[tuple[str, int]]:
+        """Iterate (name, value) pairs."""
+        for field in COUNTER_FIELDS:
+            yield field, getattr(self, field)
+
+    def total_events(self) -> int:
+        """Sum of all counters (a quick sanity signal for tests)."""
+        return sum(getattr(self, field) for field in COUNTER_FIELDS)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AccessCounters):
+            return NotImplemented
+        return all(
+            getattr(self, field) == getattr(other, field) for field in COUNTER_FIELDS
+        )
+
+    def __repr__(self) -> str:
+        nonzero = {name: value for name, value in self.items() if value}
+        return f"AccessCounters({nonzero!r})"
+
+
+def rates_per_cycle(counters: AccessCounters, cycles: int) -> dict[str, float]:
+    """Convert counts to per-cycle rates over ``cycles`` cycles."""
+    if cycles <= 0:
+        raise ValueError(f"cycles must be positive, got {cycles}")
+    return {name: value / cycles for name, value in counters.items()}

@@ -1,0 +1,111 @@
+"""Simulation-log and power-trace export.
+
+SoftWatt's architecture revolves around simulation log files (Figure 1:
+the simulators write logs; the power models post-process them).  This
+module makes our logs and traces durable artifacts: CSV for spreadsheet
+analysis and JSON for programmatic consumption, with a loader that
+round-trips the JSON form back into a :class:`SimulationLog`.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import pathlib
+
+from repro.kernel.modes import ExecutionMode
+from repro.stats.counters import COUNTER_FIELDS, AccessCounters
+from repro.stats.postprocess import PowerTrace
+from repro.stats.simlog import LogRecord, SimulationLog
+
+LOG_SCHEMA_VERSION = 1
+
+
+def write_log_csv(log: SimulationLog, path: str | pathlib.Path) -> None:
+    """Write one row per sample interval: times, cycles, mode cycles,
+    and every counter."""
+    mode_columns = [f"cycles_{mode.value}" for mode in ExecutionMode]
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(
+            ["start_s", "end_s", "cycles", *mode_columns, *COUNTER_FIELDS]
+        )
+        for record in log:
+            modes = [record.mode_cycles.get(mode, 0.0) for mode in ExecutionMode]
+            counters = [getattr(record.counters, name) for name in COUNTER_FIELDS]
+            writer.writerow(
+                [record.start_s, record.end_s, record.cycles, *modes, *counters]
+            )
+
+
+def write_log_json(log: SimulationLog, path: str | pathlib.Path) -> None:
+    """Write the full log as a versioned JSON document."""
+    document = {
+        "version": LOG_SCHEMA_VERSION,
+        "sample_interval_s": log.sample_interval_s,
+        "records": [
+            {
+                "start_s": record.start_s,
+                "end_s": record.end_s,
+                "cycles": record.cycles,
+                "mode_cycles": {
+                    mode.value: cycles
+                    for mode, cycles in record.mode_cycles.items()
+                },
+                "counters": {
+                    name: value
+                    for name, value in record.counters.items()
+                    if value
+                },
+            }
+            for record in log
+        ],
+    }
+    pathlib.Path(path).write_text(json.dumps(document))
+
+
+def read_log_json(path: str | pathlib.Path) -> SimulationLog:
+    """Load a log written by :func:`write_log_json`."""
+    document = json.loads(pathlib.Path(path).read_text())
+    if document.get("version") != LOG_SCHEMA_VERSION:
+        raise ValueError(
+            f"log schema version {document.get('version')!r} is not "
+            f"{LOG_SCHEMA_VERSION}"
+        )
+    log = SimulationLog(document["sample_interval_s"])
+    for payload in document["records"]:
+        counters = AccessCounters()
+        for name, value in payload["counters"].items():
+            setattr(counters, name, value)
+        log.append(
+            LogRecord(
+                start_s=payload["start_s"],
+                end_s=payload["end_s"],
+                cycles=payload["cycles"],
+                counters=counters,
+                mode_cycles={
+                    ExecutionMode(name): cycles
+                    for name, cycles in payload["mode_cycles"].items()
+                },
+            )
+        )
+    return log
+
+
+def write_trace_csv(trace: PowerTrace, path: str | pathlib.Path) -> None:
+    """Write the power trace: one row per interval, one column per
+    category plus the disk and the system total."""
+    categories = sorted(trace.category_w)
+    totals = trace.total_with_disk_w
+    with open(path, "w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["time_s", *categories, "disk", "total"])
+        for index, time_s in enumerate(trace.times_s):
+            writer.writerow(
+                [
+                    time_s,
+                    *(trace.category_w[name][index] for name in categories),
+                    trace.disk_w[index],
+                    totals[index],
+                ]
+            )

@@ -1,0 +1,91 @@
+"""The SoftWatt post-processor: simulation logs in, power traces out.
+
+This is the right-hand side of the paper's Figure 1: the simulation
+writes log files; the analytical power models turn them into power
+statistics after the fact.  Only the disk is integrated during
+simulation (handled by :mod:`repro.disk.power`).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.power.processor import CATEGORIES, ProcessorPowerModel
+from repro.stats.simlog import SimulationLog
+
+
+@dataclasses.dataclass
+class PowerTrace:
+    """Per-interval power series, one list per category (watts)."""
+
+    times_s: list[float]
+    """Interval midpoints."""
+    category_w: dict[str, list[float]]
+    disk_w: list[float]
+
+    def __post_init__(self) -> None:
+        lengths = {len(series) for series in self.category_w.values()}
+        lengths.add(len(self.times_s))
+        lengths.add(len(self.disk_w))
+        if len(lengths) > 1:
+            raise ValueError("all trace series must have equal length")
+
+    @property
+    def total_w(self) -> list[float]:
+        """Total CPU + memory power per interval (disk excluded)."""
+        return [
+            sum(self.category_w[name][i] for name in self.category_w)
+            for i in range(len(self.times_s))
+        ]
+
+    @property
+    def total_with_disk_w(self) -> list[float]:
+        """Total system power per interval including the disk."""
+        totals = self.total_w
+        return [totals[i] + self.disk_w[i] for i in range(len(totals))]
+
+    def average_w(self, category: str) -> float:
+        """Time-weighted average power of one category (or "disk")."""
+        series = self.disk_w if category == "disk" else self.category_w[category]
+        if not series:
+            return 0.0
+        return sum(series) / len(series)
+
+
+def compute_power_trace(
+    log: SimulationLog,
+    model: ProcessorPowerModel,
+    *,
+    disk_power_w: list[float] | None = None,
+) -> PowerTrace:
+    """Convert a simulation log into a power trace.
+
+    ``disk_power_w`` optionally supplies the disk's average power per
+    interval (measured event-exactly during simulation); when omitted
+    the disk series is zero.
+    """
+    times: list[float] = []
+    category_w: dict[str, list[float]] = {name: [] for name in CATEGORIES}
+    if disk_power_w is not None and len(disk_power_w) != len(log):
+        raise ValueError(
+            f"disk series has {len(disk_power_w)} entries for {len(log)} records"
+        )
+    for record in log:
+        times.append((record.start_s + record.end_s) / 2.0)
+        duration = record.duration_s
+        cycles = max(1, int(record.cycles))
+        energies = model.energy_by_category(record.counters, cycles)
+        for name in CATEGORIES:
+            watts = energies[name] / duration if duration > 0 else 0.0
+            category_w[name].append(watts)
+    disk = list(disk_power_w) if disk_power_w is not None else [0.0] * len(log)
+    return PowerTrace(times_s=times, category_w=category_w, disk_w=disk)
+
+
+def total_energy_j(log: SimulationLog, model: ProcessorPowerModel) -> float:
+    """Total CPU + memory energy of a log."""
+    energy = 0.0
+    for record in log:
+        cycles = max(1, int(record.cycles))
+        energy += sum(model.energy_by_category(record.counters, cycles).values())
+    return energy

@@ -1,0 +1,100 @@
+"""Simulation log files.
+
+SoftWatt "takes a post-processing approach ... the simulation data is
+read from the log-files, pre-processed, and is input to the power
+models.  This approach causes the loss of per-cycle information, as
+data is sampled and dumped to the simulation log-file at a coarser
+granularity" (Section 2).
+
+A :class:`SimulationLog` is exactly that artifact: a time-ordered list
+of sample intervals, each carrying the cycle count, the per-unit access
+counters accumulated in the interval, and the interval's software-mode
+cycle split.  Everything the post-processor and the figures need — and
+nothing finer.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.kernel.modes import ExecutionMode
+from repro.stats.counters import AccessCounters
+
+
+@dataclasses.dataclass
+class LogRecord:
+    """One sample interval of the simulation log."""
+
+    start_s: float
+    end_s: float
+    cycles: float
+    counters: AccessCounters
+    mode_cycles: dict[ExecutionMode, float] = dataclasses.field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.end_s < self.start_s:
+            raise ValueError(f"interval ends before it starts: {self}")
+        if self.cycles < 0:
+            raise ValueError("cycles cannot be negative")
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock length of the interval."""
+        return self.end_s - self.start_s
+
+    def dominant_mode(self) -> ExecutionMode:
+        """The mode with the most cycles in this interval."""
+        if not self.mode_cycles:
+            return ExecutionMode.USER
+        return max(self.mode_cycles, key=lambda mode: self.mode_cycles[mode])
+
+
+class SimulationLog:
+    """Time-ordered sample records of one simulated run."""
+
+    def __init__(self, sample_interval_s: float) -> None:
+        if sample_interval_s <= 0:
+            raise ValueError(f"sample interval must be positive: {sample_interval_s}")
+        self.sample_interval_s = sample_interval_s
+        self.records: list[LogRecord] = []
+
+    def append(self, record: LogRecord) -> None:
+        """Append a record; intervals must be time-ordered."""
+        if self.records and record.start_s < self.records[-1].end_s - 1e-9:
+            raise ValueError(
+                f"record starting at {record.start_s} overlaps the previous "
+                f"record ending at {self.records[-1].end_s}"
+            )
+        self.records.append(record)
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __iter__(self):
+        return iter(self.records)
+
+    @property
+    def duration_s(self) -> float:
+        """Wall-clock span of the log."""
+        if not self.records:
+            return 0.0
+        return self.records[-1].end_s - self.records[0].start_s
+
+    def total_cycles(self) -> float:
+        """Cycles across all records."""
+        return sum(record.cycles for record in self.records)
+
+    def total_counters(self) -> AccessCounters:
+        """Summed counters across all records."""
+        total = AccessCounters()
+        for record in self.records:
+            total.add(record.counters)
+        return total
+
+    def mode_cycle_totals(self) -> dict[ExecutionMode, float]:
+        """Cycles per software mode across the run."""
+        totals: dict[ExecutionMode, float] = {mode: 0.0 for mode in ExecutionMode}
+        for record in self.records:
+            for mode, cycles in record.mode_cycles.items():
+                totals[mode] += cycles
+        return totals

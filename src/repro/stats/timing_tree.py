@@ -1,0 +1,118 @@
+"""SimOS-style timing trees.
+
+SimOS exposes a hierarchical decomposition of execution time — *timing
+trees* [Herrod 98] — that SoftWatt uses to attribute cycles to nested
+contexts (benchmark -> mode -> kernel service -> invocation).  This is
+the bookkeeping structure behind Table 2's mode breakdown and Table 4's
+per-service decomposition.
+
+A tree node accumulates cycles and energy; entering a child context
+pushes onto the path, exiting pops and rolls the interval up through
+every open ancestor.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Iterator
+
+
+@dataclasses.dataclass
+class TimingNode:
+    """One context in the timing tree."""
+
+    name: str
+    cycles: float = 0.0
+    energy_j: float = 0.0
+    visits: int = 0
+    children: dict[str, "TimingNode"] = dataclasses.field(default_factory=dict)
+
+    def child(self, name: str) -> "TimingNode":
+        """The named child, created on demand."""
+        node = self.children.get(name)
+        if node is None:
+            node = TimingNode(name=name)
+            self.children[name] = node
+        return node
+
+    def walk(self, depth: int = 0) -> Iterator[tuple[int, "TimingNode"]]:
+        """Depth-first traversal yielding (depth, node)."""
+        yield depth, self
+        for child in self.children.values():
+            yield from child.walk(depth + 1)
+
+    @property
+    def self_cycles(self) -> float:
+        """Cycles not attributed to any child."""
+        return self.cycles - sum(child.cycles for child in self.children.values())
+
+
+class TimingTree:
+    """Accumulates (cycles, energy) intervals along a context path."""
+
+    def __init__(self, root_name: str = "root") -> None:
+        self.root = TimingNode(name=root_name)
+        self._path: list[TimingNode] = [self.root]
+
+    @property
+    def current_path(self) -> tuple[str, ...]:
+        """Names along the open context path."""
+        return tuple(node.name for node in self._path)
+
+    def enter(self, name: str) -> None:
+        """Open a child context."""
+        node = self._path[-1].child(name)
+        node.visits += 1
+        self._path.append(node)
+
+    def exit(self, name: str) -> None:
+        """Close the innermost context (must match ``name``)."""
+        if len(self._path) == 1:
+            raise RuntimeError("cannot exit the root context")
+        if self._path[-1].name != name:
+            raise RuntimeError(
+                f"context mismatch: exiting {name!r} but innermost is "
+                f"{self._path[-1].name!r}"
+            )
+        self._path.pop()
+
+    def accrue(self, cycles: float, energy_j: float = 0.0) -> None:
+        """Charge an interval to every open context."""
+        if cycles < 0 or energy_j < 0:
+            raise ValueError("cycles and energy must be non-negative")
+        for node in self._path:
+            node.cycles += cycles
+            node.energy_j += energy_j
+
+    def record(self, path: tuple[str, ...], cycles: float, energy_j: float = 0.0) -> None:
+        """Charge an interval to an explicit path (batch interface)."""
+        if cycles < 0 or energy_j < 0:
+            raise ValueError("cycles and energy must be non-negative")
+        node = self.root
+        node.cycles += cycles
+        node.energy_j += energy_j
+        for name in path:
+            node = node.child(name)
+            node.cycles += cycles
+            node.energy_j += energy_j
+
+    def node(self, *path: str) -> TimingNode:
+        """Look up a node by path; raises KeyError if absent."""
+        node = self.root
+        for name in path:
+            if name not in node.children:
+                raise KeyError(f"no node {'/'.join(path)!r}")
+            node = node.children[name]
+        return node
+
+    def format(self) -> str:
+        """A human-readable indented dump (for reports and debugging)."""
+        lines = []
+        total = self.root.cycles or 1.0
+        for depth, node in self.root.walk():
+            share = node.cycles / total * 100.0
+            lines.append(
+                f"{'  ' * depth}{node.name}: {node.cycles:.0f} cycles "
+                f"({share:.1f}%), {node.energy_j:.4g} J, {node.visits} visits"
+            )
+        return "\n".join(lines)

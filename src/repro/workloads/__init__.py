@@ -1,0 +1,27 @@
+"""SPEC JVM98 synthetic workload suite."""
+
+from repro.workloads.jvm import (
+    JVMPhases,
+    PhaseSpec,
+    gc_signature,
+    startup_signature,
+)
+from repro.workloads.specjvm98 import (
+    BENCHMARK_NAMES,
+    BenchmarkSpec,
+    DiskEvent,
+    all_benchmarks,
+    benchmark,
+)
+
+__all__ = [
+    "JVMPhases",
+    "PhaseSpec",
+    "gc_signature",
+    "startup_signature",
+    "BENCHMARK_NAMES",
+    "BenchmarkSpec",
+    "DiskEvent",
+    "all_benchmarks",
+    "benchmark",
+]

@@ -1,0 +1,121 @@
+"""JVM execution-phase model.
+
+The paper runs SPEC JVM98 under the JIT-compiling JVM on IRIX with the
+s10 dataset (Section 3.1).  The execution structure that its profiles
+expose (Figures 3 and 4) is:
+
+* a **startup** phase — Java class files are loaded from disk (the
+  initial idle-dominated period), the heap is populated
+  (``demand_zero`` faults), and the JIT compiles hot methods, flushing
+  the I-/D-caches after code generation (``cacheflush``); cold caches
+  make the memory subsystem's power ramp steeply,
+* a **steady** phase — user-dominated execution with the benchmark's
+  characteristic kernel-service mix; file data is found in the file
+  cache most of the time,
+* periodic **GC** episodes — the s10 dataset is chosen by the paper
+  precisely because it exercises the garbage collector: pointer-chasing
+  scans over the whole heap with poor locality and demand-zero faults
+  for fresh allocation regions.
+
+A :class:`PhaseSpec` captures one phase's workload parameters; the
+:class:`JVMPhases` bundle orders them and assigns compute-time shares.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.generators import CodeSignature
+from repro.kernel.scheduler import ServiceRate, SyscallPlan
+
+
+@dataclasses.dataclass(frozen=True)
+class PhaseSpec:
+    """Workload parameters of one JVM execution phase."""
+
+    name: str
+    compute_fraction: float
+    """Share of the benchmark's compute time spent in this phase."""
+    signature: CodeSignature
+    """User-code signature active during the phase."""
+    service_rates: tuple[ServiceRate, ...] = ()
+    syscalls: SyscallPlan | None = None
+    sync_mean_gap: float | None = None
+    cold_caches: bool = False
+    """Start this phase's detailed window with cold caches (startup)."""
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.compute_fraction <= 1.0:
+            raise ValueError(
+                f"phase {self.name}: compute fraction must be in (0, 1], "
+                f"got {self.compute_fraction}"
+            )
+
+
+@dataclasses.dataclass(frozen=True)
+class JVMPhases:
+    """The ordered phases of one benchmark's execution."""
+
+    phases: tuple[PhaseSpec, ...]
+
+    def __post_init__(self) -> None:
+        if not self.phases:
+            raise ValueError("a benchmark needs at least one phase")
+        total = sum(phase.compute_fraction for phase in self.phases)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"phase fractions must sum to 1.0, got {total}")
+        names = [phase.name for phase in self.phases]
+        if len(names) != len(set(names)):
+            raise ValueError(f"phase names must be unique, got {names}")
+
+    def phase(self, name: str) -> PhaseSpec:
+        """Look up a phase by name."""
+        for candidate in self.phases:
+            if candidate.name == name:
+                return candidate
+        raise KeyError(f"no phase named {name!r}")
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        """Phase names in execution order."""
+        return tuple(phase.name for phase in self.phases)
+
+
+def gc_signature(base: CodeSignature) -> CodeSignature:
+    """Derive a garbage-collection signature from a benchmark's base.
+
+    GC scans the whole heap with pointer-chasing loads: the data
+    footprint expands to the full heap, temporal locality collapses,
+    spatial runs shorten, and the load fraction rises.
+    """
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}-gc",
+        load_fraction=min(0.40, base.load_fraction + 0.12),
+        store_fraction=max(0.06, base.store_fraction - 0.02),
+        temporal_locality=0.65,
+        hot_data_bytes=base.data_footprint_bytes // 8,
+        spatial_run_mean=6,
+        dependency_distance=max(3.0, base.dependency_distance / 1.6),
+    )
+
+
+def startup_signature(base: CodeSignature) -> CodeSignature:
+    """Derive the class-loading/JIT signature from a benchmark's base.
+
+    Startup touches far more code than it re-executes (class loading,
+    verification, JIT compilation), with moderate ILP.
+    """
+    return dataclasses.replace(
+        base,
+        name=f"{base.name}-startup",
+        hot_code_fraction=0.6,
+        code_footprint_bytes=max(base.code_footprint_bytes, 512 * 1024),
+        data_footprint_bytes=max(base.data_footprint_bytes, 3 * 1024 * 1024),
+        temporal_locality=min(0.50, base.temporal_locality),
+        spatial_run_mean=max(4, base.spatial_run_mean // 3),
+        load_fraction=min(0.38, base.load_fraction + 0.08),
+        # Class loading/JIT streams independent records: ILP stays up,
+        # so the cold misses overlap and memory power spikes per cycle.
+        dependency_distance=max(base.dependency_distance, 12.0),
+    )

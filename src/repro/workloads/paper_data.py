@@ -1,0 +1,162 @@
+"""The paper's published evaluation numbers, as data.
+
+Every figure and table of the paper that this repository reproduces,
+transcribed once and shared by the bench harness, the calibration
+dashboard, and the report generator.  Sources are the tables of the
+HPCA 2002 paper; Figure values are read off the charts and marked as
+approximate.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+# ---------------------------------------------------------------------------
+# Section 2: validation
+# ---------------------------------------------------------------------------
+
+R10000_DATASHEET_MAX_W = 30.0
+PAPER_SOFTWATT_MAX_W = 25.3
+
+# ---------------------------------------------------------------------------
+# Table 2: percentage breakdown of energy and cycles
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class ModeShares:
+    """One benchmark's Table 2 row."""
+
+    user_cycles: float
+    kernel_cycles: float
+    sync_cycles: float
+    idle_cycles: float
+    user_energy: float
+    kernel_energy: float
+    sync_energy: float
+    idle_energy: float
+
+
+TABLE2: dict[str, ModeShares] = {
+    "compress": ModeShares(88.24, 7.95, 0.20, 3.61, 93.74, 4.18, 0.14, 1.94),
+    "jess": ModeShares(63.69, 24.57, 0.86, 10.88, 77.15, 15.12, 0.68, 7.05),
+    "db": ModeShares(66.10, 24.28, 0.75, 8.87, 81.19, 13.22, 0.54, 5.05),
+    "javac": ModeShares(64.20, 27.54, 0.55, 7.71, 78.47, 15.98, 0.44, 5.11),
+    "mtrt": ModeShares(80.62, 14.80, 0.26, 4.32, 90.07, 7.44, 0.17, 2.32),
+    "jack": ModeShares(69.02, 27.91, 0.63, 2.44, 81.36, 16.43, 0.51, 1.70),
+}
+
+AVERAGE_KERNEL_SHARE_SINGLE_ISSUE = 14.28
+AVERAGE_KERNEL_SHARE_SUPERSCALAR = 21.02
+
+# ---------------------------------------------------------------------------
+# Table 3: cache references per cycle
+# ---------------------------------------------------------------------------
+
+
+@dataclasses.dataclass(frozen=True)
+class CacheRefRates:
+    """One benchmark's Table 3 row: (iL1, dL1) per mode."""
+
+    user: tuple[float, float]
+    kernel: tuple[float, float]
+    sync: tuple[float, float]
+    idle: tuple[float, float]
+
+
+TABLE3: dict[str, CacheRefRates] = {
+    "compress": CacheRefRates((2.0088, 0.6833), (1.1203, 0.2080),
+                              (1.5560, 0.1745), (0.7612, 0.3546)),
+    "jess": CacheRefRates((1.9861, 0.6217), (1.1143, 0.2164),
+                          (1.5956, 0.1775), (0.8267, 0.3851)),
+    "db": CacheRefRates((2.0911, 0.6699), (1.0602, 0.1892),
+                        (1.5240, 0.1832), (0.7244, 0.3375)),
+    "javac": CacheRefRates((1.9685, 0.5604), (1.0346, 0.1835),
+                           (1.5355, 0.1720), (0.8110, 0.3778)),
+    "mtrt": CacheRefRates((2.1105, 0.6473), (1.0850, 0.1908),
+                          (1.5177, 0.1697), (0.7524, 0.3505)),
+    "jack": CacheRefRates((1.8465, 0.5869), (1.0410, 0.1931),
+                          (1.5585, 0.1708), (0.8718, 0.4061)),
+}
+
+# ---------------------------------------------------------------------------
+# Table 4: kernel computation by service (share of kernel cycles/energy, %)
+# ---------------------------------------------------------------------------
+
+TABLE4_SHARES: dict[str, dict[str, tuple[float, float]]] = {
+    "compress": {
+        "utlb": (76.2862, 64.2989), "read": (9.46498, 13.7241),
+        "demand_zero": (4.46058, 6.91512), "cacheflush": (1.33649, 1.39134),
+        "open": (1.04054, 1.18379), "vfault": (0.84626, 1.12367),
+        "write": (0.82243, 0.74204), "tlb_miss": (0.716817, 0.917478),
+    },
+    "jess": {
+        "utlb": (64.8216, 53.7089), "read": (16.5106, 20.7921),
+        "BSD": (4.15149, 5.53606), "demand_zero": (3.20818, 4.19697),
+        "tlb_miss": (2.93511, 4.329), "open": (1.4382, 1.63077),
+        "cacheflush": (1.42624, 1.52855), "vfault": (0.638494, 0.826016),
+    },
+    "db": {
+        "utlb": (75.6565, 66.6431), "read": (7.04481, 10.1373),
+        "write": (5.12059, 5.22395), "demand_zero": (2.57247, 3.86259),
+        "tlb_miss": (1.75243, 2.82191), "du_poll": (1.08423, 1.22557),
+        "cacheflush": (0.981458, 1.10068), "open": (0.76878, 0.913507),
+    },
+    "javac": {
+        "utlb": (78.782, 71.6722), "read": (5.47241, 7.96247),
+        "demand_zero": (3.70849, 4.86183), "tlb_miss": (3.33207, 5.51917),
+        "open": (1.58547, 2.09804), "cacheflush": (1.33713, 1.65195),
+        "xstat": (0.627263, 0.879387), "vfault": (0.517107, 0.739405),
+    },
+    "mtrt": {
+        "utlb": (81.3054, 72.199), "read": (6.35944, 8.87615),
+        "demand_zero": (3.23787, 4.40053), "tlb_miss": (2.43972, 3.65625),
+        "cacheflush": (0.929139, 1.03098), "open": (0.739026, 0.880839),
+        "write": (0.623178, 0.582169), "vfault": (0.57036, 0.792793),
+    },
+    "jack": {
+        "utlb": (71.0119, 64.0483), "read": (16.7512, 18.9097),
+        "BSD": (6.6143, 7.36693), "tlb_miss": (1.8767, 3.03969),
+        "demand_zero": (1.43321, 1.88598), "cacheflush": (0.386741, 0.44586),
+        "open": (0.292891, 0.35692), "clock": (0.265881, 0.235892),
+    },
+}
+
+# ---------------------------------------------------------------------------
+# Table 5: variation in per-invocation energy
+# ---------------------------------------------------------------------------
+
+TABLE5: dict[str, tuple[float, float]] = {
+    # service: (mean energy per invocation J, coefficient of deviation %)
+    "utlb": (2.1276e-07, 0.13971),
+    "demand_zero": (5.408e-05, 1.4927),
+    "cacheflush": (2.1606e-05, 2.4698),
+    "read": (4.8894e-05, 6.615),
+    "write": (2.5351e-04, 10.6632),
+    "open": (1.5586e-04, 10.0714),
+}
+
+# ---------------------------------------------------------------------------
+# Figures 5 and 7: power budgets (% of average system power, approximate)
+# ---------------------------------------------------------------------------
+
+FIGURE5_SHARES: dict[str, float] = {
+    "disk": 34.0, "l1i": 22.0, "clock": 22.0, "datapath": 15.0,
+    "l1d": 6.0, "l2d": 1.0, "l2i": 1.0, "memory": 1.0,
+}
+
+FIGURE7_SHARES: dict[str, float] = {
+    "disk": 23.0, "l1i": 26.0, "clock": 26.0, "datapath": 17.0,
+    "l1d": 8.0, "l2d": 1.0, "l2i": 1.0, "memory": 1.0,
+}
+
+# ---------------------------------------------------------------------------
+# Figure 9 narrative anchors
+# ---------------------------------------------------------------------------
+
+JACK_IMPROVEMENT_2S_TO_4S = 0.33
+"""jack's energy-efficiency improvement when the spin-down threshold
+moves from 2 s to 4 s (one spin-down/spin-up pair eliminated)."""
+
+KERNEL_TRACE_ESTIMATE_ERROR = 0.10
+"""Error margin of trace-based kernel-energy estimation (Section 3.3)."""

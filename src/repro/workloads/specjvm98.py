@@ -1,0 +1,449 @@
+"""SPEC JVM98 synthetic benchmark definitions.
+
+The six benchmarks the paper characterises (``mpegaudio`` excluded, as
+in the paper, because it failed to run on MXS).  Each spec couples:
+
+* a user-code :class:`~repro.isa.generators.CodeSignature` reflecting
+  the benchmark's published character (compress streams over buffers;
+  jess is branchy and pointer-chasing; db is load-heavy; javac has a
+  huge code footprint; mtrt is the floating-point raytracer; jack is
+  parser code full of data-dependent branches),
+* per-phase kernel activity (syscall/service/sync rates) whose mix
+  follows Table 4 (e.g. BSD shows up in jess and jack, du_poll in db,
+  xstat in javac),
+* a disk-access timeline in *compute seconds* (progress time excluding
+  I/O blocking): a class-loading burst at the start — the source of
+  the initial idle-dominance in Figures 3 and 4 — plus the sparse
+  steady-state accesses whose inter-access gaps drive the Section 4
+  spin-down results.
+
+The gap structure per benchmark is engineered from the paper's own
+Figure 9 narrative: jess/db never leave more than ~0.8 s of disk
+inactivity (too short to spin down); compress/javac leave ~2.4 s gaps
+(pathological for the 2 s threshold, harmless at 4 s); jack leaves one
+~3.1 s and one ~4.7 s gap (the 4 s threshold eliminates one spin-down
+pair, a ~33 % energy gain); mtrt leaves two ~11 s gaps (both
+thresholds spin down — identical idle cycles, but the 4 s threshold
+holds the disk in the costlier IDLE mode longer, so its energy is
+*higher*).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+
+from repro.isa.generators import CodeSignature
+from repro.workloads.jvm import JVMPhases, PhaseSpec, gc_signature, startup_signature
+
+KB = 1024
+MB = 1024 * KB
+
+#: Table 4 of the paper: kernel-service invocation counts per benchmark
+#: over the full profiled period.  Used to derive per-cycle invocation
+#: densities for the timeline's scheduled kernel activity (utlb is NOT
+#: scheduled -- it emerges from TLB misses in the detailed simulation).
+PAPER_TABLE4_INVOCATIONS: dict[str, dict[str, int]] = {
+    "compress": {
+        "utlb": 7_132_786, "read": 5_863, "demand_zero": 3_080,
+        "cacheflush": 1_558, "open": 192, "vfault": 972, "write": 71,
+        "tlb_miss": 12_209,
+    },
+    "jess": {
+        "utlb": 8_351_936, "read": 14_902, "BSD": 18_066,
+        "demand_zero": 2_585, "tlb_miss": 92_554, "open": 327,
+        "cacheflush": 2_371, "vfault": 1_017,
+    },
+    "db": {
+        "utlb": 9_311_336, "read": 6_289, "write": 698,
+        "demand_zero": 2_172, "tlb_miss": 53_764, "du_poll": 4_066,
+        "cacheflush": 1_540, "open": 188,
+    },
+    "javac": {
+        "utlb": 12_815_956, "read": 6_205, "demand_zero": 3_402,
+        "tlb_miss": 134_265, "open": 434, "cacheflush": 2_802,
+        "xstat": 142, "vfault": 1_054,
+    },
+    "mtrt": {
+        "utlb": 11_871_047, "read": 6_400, "demand_zero": 2_868,
+        "tlb_miss": 84_966, "cacheflush": 1_681, "open": 210,
+        "write": 88, "vfault": 1_039,
+    },
+    "jack": {
+        "utlb": 30_131_127, "read": 40_079, "BSD": 68_612,
+        "tlb_miss": 204_529, "demand_zero": 3_484, "cacheflush": 2_039,
+        "open": 239, "clock": 963,
+    },
+}
+
+#: Estimated total cycles of each paper run, back-computed from Table 4
+#: (utlb invocations x ~24 cycles each = Table 4 utlb share of the
+#: Table 2 kernel share of the total).
+PAPER_RUN_CYCLES: dict[str, float] = {
+    "compress": 7_132_786 * 24 / (0.642989 * 0.0795),
+    "jess": 8_351_936 * 24 / (0.648216 * 0.2457),
+    "db": 9_311_336 * 24 / (0.756565 * 0.2428),
+    "javac": 12_815_956 * 24 / (0.78782 * 0.2754),
+    "mtrt": 11_871_047 * 24 / (0.813054 * 0.1480),
+    "jack": 30_131_127 * 24 / (0.710119 * 0.2791),
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class DiskEvent:
+    """One disk read at a given compute-progress time."""
+
+    progress_s: float
+    nbytes: int
+
+    def __post_init__(self) -> None:
+        if self.progress_s < 0 or self.nbytes <= 0:
+            raise ValueError("disk events need progress_s >= 0 and nbytes > 0")
+
+
+@dataclasses.dataclass(frozen=True)
+class BenchmarkSpec:
+    """Everything needed to simulate one SPEC JVM98 benchmark."""
+
+    name: str
+    description: str
+    phases: JVMPhases
+    compute_duration_s: float
+    """Compute time on the baseline MXS machine, excluding I/O blocking."""
+    disk_events: tuple[DiskEvent, ...]
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.compute_duration_s <= 0:
+            raise ValueError(f"{self.name}: duration must be positive")
+        times = [event.progress_s for event in self.disk_events]
+        if times != sorted(times):
+            raise ValueError(f"{self.name}: disk events must be time-ordered")
+        if times and times[-1] >= self.compute_duration_s:
+            raise ValueError(f"{self.name}: disk events must fall within the run")
+
+    @property
+    def steady_signature(self) -> CodeSignature:
+        """The steady-phase user signature."""
+        return self.phases.phase("steady").signature
+
+    def service_densities(self) -> dict[str, float]:
+        """Scheduled-service invocations per simulated cycle.
+
+        Derived from the paper's Table 4 counts over its estimated run
+        length; ``utlb`` is excluded because TLB refills emerge from the
+        detailed simulation rather than being scheduled.
+        """
+        table = PAPER_TABLE4_INVOCATIONS.get(self.name)
+        total = PAPER_RUN_CYCLES.get(self.name)
+        if table is None or total is None:
+            # Custom workloads without a registered Table 4 profile get
+            # no scheduled services (utlb still emerges); register
+            # entries in PAPER_TABLE4_INVOCATIONS / PAPER_RUN_CYCLES to
+            # opt in (see examples/custom_workload.py).
+            return {}
+        return {
+            service: count / total
+            for service, count in table.items()
+            if service != "utlb"
+        }
+
+
+def _startup_burst(
+    start_s: float, end_s: float, count: int, nbytes: int
+) -> list[DiskEvent]:
+    """Class-loading reads across [start_s, end_s].
+
+    The first reads pull in the class archives themselves (large,
+    back-to-back), making the opening of every profiled run
+    idle-dominated as in Figures 3 and 4; the rest are the individual
+    class files, evenly spaced."""
+    if count <= 0:
+        raise ValueError("burst needs at least one event")
+    if count == 1:
+        return [DiskEvent(start_s, nbytes)]
+    step = (end_s - start_s) / (count - 1)
+    events = []
+    for i in range(count):
+        size = 160 * KB if i < 3 else nbytes
+        events.append(DiskEvent(start_s + i * step, size))
+    return events
+
+
+def _phases(
+    base: CodeSignature,
+    *,
+    startup_fraction: float,
+    gc_fraction: float,
+    sync_gap: float,
+) -> JVMPhases:
+    """Assemble the three-phase JVM structure around a base signature.
+
+    Detailed windows carry user code, kernel synchronisation, and the
+    emergent ``utlb`` traps; the scheduled kernel services (read, open,
+    demand_zero, ...) are composed by the timeline from the spec's
+    Table 4 invocation densities and the measured per-invocation
+    service profiles.
+    """
+    steady_fraction = 1.0 - startup_fraction - gc_fraction
+    return JVMPhases(
+        phases=(
+            PhaseSpec(
+                name="startup",
+                compute_fraction=startup_fraction,
+                signature=startup_signature(base),
+                sync_mean_gap=sync_gap,
+                cold_caches=True,
+            ),
+            PhaseSpec(
+                name="steady",
+                compute_fraction=steady_fraction,
+                signature=base,
+                sync_mean_gap=sync_gap,
+            ),
+            PhaseSpec(
+                name="gc",
+                compute_fraction=gc_fraction,
+                signature=gc_signature(base),
+                sync_mean_gap=sync_gap * 1.5,
+            ),
+        )
+    )
+
+
+def _compress() -> BenchmarkSpec:
+    base = CodeSignature(
+        name="compress",
+        load_fraction=0.26,
+        store_fraction=0.12,
+        fp_fraction=0.0,
+        dependency_distance=16.0,
+        loop_body_mean=18,
+        loop_iterations_mean=80,
+        irregular_branch_fraction=0.04,
+        call_fraction=0.03,
+        code_footprint_bytes=96 * KB,
+        hot_code_bytes=8 * KB,
+        data_footprint_bytes=1 * MB,
+        hot_data_bytes=24 * KB,
+        temporal_locality=0.94,
+        spatial_run_mean=48,
+    )
+    events = _startup_burst(0.05, 0.55, 9, 16 * KB)
+    events += [DiskEvent(3.0, 64 * KB), DiskEvent(5.4, 64 * KB), DiskEvent(7.8, 64 * KB)]
+    return BenchmarkSpec(
+        name="compress",
+        description="LZW compression: streaming buffer loops, little OS activity",
+        phases=_phases(
+            base,
+            startup_fraction=0.07,
+            gc_fraction=0.08,
+            sync_gap=28000,
+        ),
+        compute_duration_s=8.0,
+        disk_events=tuple(events),
+        seed=11,
+    )
+
+
+def _jess() -> BenchmarkSpec:
+    base = CodeSignature(
+        name="jess",
+        load_fraction=0.25,
+        store_fraction=0.10,
+        fp_fraction=0.01,
+        dependency_distance=14.0,
+        loop_body_mean=14,
+        loop_iterations_mean=56,
+        irregular_branch_fraction=0.06,
+        call_fraction=0.06,
+        code_footprint_bytes=256 * KB,
+        hot_code_bytes=12 * KB,
+        data_footprint_bytes=1536 * KB,
+        hot_data_bytes=24 * KB,
+        temporal_locality=0.74,
+        spatial_run_mean=28,
+    )
+    events = _startup_burst(0.05, 0.7, 11, 16 * KB)
+    events += [DiskEvent(1.5, 32 * KB), DiskEvent(2.2, 32 * KB), DiskEvent(2.9, 32 * KB)]
+    return BenchmarkSpec(
+        name="jess",
+        description="Expert-system shell: pointer-chasing rule matching, OS-heavy",
+        phases=_phases(
+            base,
+            startup_fraction=0.12,
+            gc_fraction=0.10,
+            sync_gap=6400,
+        ),
+        compute_duration_s=3.5,
+        disk_events=tuple(events),
+        seed=13,
+    )
+
+
+def _db() -> BenchmarkSpec:
+    base = CodeSignature(
+        name="db",
+        load_fraction=0.30,
+        store_fraction=0.09,
+        fp_fraction=0.0,
+        dependency_distance=15.0,
+        loop_body_mean=15,
+        loop_iterations_mean=64,
+        irregular_branch_fraction=0.05,
+        call_fraction=0.05,
+        code_footprint_bytes=160 * KB,
+        hot_code_bytes=10 * KB,
+        data_footprint_bytes=1536 * KB,
+        hot_data_bytes=24 * KB,
+        temporal_locality=0.68,
+        spatial_run_mean=28,
+    )
+    events = _startup_burst(0.05, 0.6, 8, 16 * KB)
+    events += [DiskEvent(1.2, 48 * KB), DiskEvent(1.9, 48 * KB), DiskEvent(2.6, 16 * KB)]
+    return BenchmarkSpec(
+        name="db",
+        description="In-memory database: index scans and sorts over a large heap",
+        phases=_phases(
+            base,
+            startup_fraction=0.12,
+            gc_fraction=0.09,
+            sync_gap=8000,
+        ),
+        compute_duration_s=2.8,
+        disk_events=tuple(events),
+        seed=17,
+    )
+
+
+def _javac() -> BenchmarkSpec:
+    base = CodeSignature(
+        name="javac",
+        load_fraction=0.24,
+        store_fraction=0.11,
+        fp_fraction=0.0,
+        dependency_distance=13.0,
+        loop_body_mean=13,
+        loop_iterations_mean=44,
+        irregular_branch_fraction=0.07,
+        call_fraction=0.08,
+        code_footprint_bytes=384 * KB,
+        hot_code_bytes=16 * KB,
+        data_footprint_bytes=1536 * KB,
+        hot_data_bytes=24 * KB,
+        temporal_locality=0.64,
+        spatial_run_mean=24,
+    )
+    events = _startup_burst(0.05, 0.9, 14, 16 * KB)
+    events += [DiskEvent(3.4, 48 * KB), DiskEvent(5.8, 48 * KB)]
+    return BenchmarkSpec(
+        name="javac",
+        description="The JDK Java compiler: huge code footprint, fault-heavy",
+        phases=_phases(
+            base,
+            startup_fraction=0.15,
+            gc_fraction=0.12,
+            sync_gap=11200,
+        ),
+        compute_duration_s=6.0,
+        disk_events=tuple(events),
+        seed=19,
+    )
+
+
+def _mtrt() -> BenchmarkSpec:
+    base = CodeSignature(
+        name="mtrt",
+        load_fraction=0.24,
+        store_fraction=0.08,
+        fp_fraction=0.22,
+        imul_fraction=0.02,
+        dependency_distance=16.0,
+        loop_body_mean=16,
+        loop_iterations_mean=72,
+        irregular_branch_fraction=0.04,
+        call_fraction=0.05,
+        code_footprint_bytes=192 * KB,
+        hot_code_bytes=12 * KB,
+        data_footprint_bytes=1 * MB,
+        hot_data_bytes=24 * KB,
+        temporal_locality=0.80,
+        spatial_run_mean=28,
+    )
+    events = _startup_burst(0.05, 0.8, 12, 16 * KB)
+    events += [DiskEvent(11.5, 64 * KB), DiskEvent(23.0, 32 * KB)]
+    return BenchmarkSpec(
+        name="mtrt",
+        description="Multithreaded raytracer: the suite's floating-point member",
+        phases=_phases(
+            base,
+            startup_fraction=0.05,
+            gc_fraction=0.08,
+            sync_gap=25600,
+        ),
+        compute_duration_s=24.0,
+        disk_events=tuple(events),
+        seed=23,
+    )
+
+
+def _jack() -> BenchmarkSpec:
+    base = CodeSignature(
+        name="jack",
+        load_fraction=0.23,
+        store_fraction=0.10,
+        fp_fraction=0.0,
+        dependency_distance=12.0,
+        loop_body_mean=12,
+        loop_iterations_mean=40,
+        irregular_branch_fraction=0.08,
+        call_fraction=0.08,
+        code_footprint_bytes=320 * KB,
+        hot_code_bytes=14 * KB,
+        data_footprint_bytes=1536 * KB,
+        hot_data_bytes=24 * KB,
+        temporal_locality=0.66,
+        spatial_run_mean=24,
+    )
+    events = _startup_burst(0.05, 0.7, 10, 16 * KB)
+    events += [DiskEvent(3.9, 48 * KB), DiskEvent(8.6, 48 * KB)]
+    return BenchmarkSpec(
+        name="jack",
+        description="Parser generator: branchy text processing, most OS-intensive",
+        phases=_phases(
+            base,
+            startup_fraction=0.09,
+            gc_fraction=0.10,
+            sync_gap=8800,
+        ),
+        compute_duration_s=9.0,
+        disk_events=tuple(events),
+        seed=29,
+    )
+
+
+def benchmark(name: str) -> BenchmarkSpec:
+    """Look up one benchmark spec by its SPEC JVM98 name."""
+    try:
+        return _REGISTRY[name]()
+    except KeyError:
+        raise KeyError(
+            f"unknown benchmark {name!r}; available: {sorted(_REGISTRY)}"
+        ) from None
+
+
+def all_benchmarks() -> tuple[BenchmarkSpec, ...]:
+    """All six benchmarks in the paper's table order."""
+    return tuple(_REGISTRY[name]() for name in BENCHMARK_NAMES)
+
+
+BENCHMARK_NAMES: tuple[str, ...] = ("compress", "jess", "db", "javac", "mtrt", "jack")
+"""Table order used throughout the paper."""
+
+_REGISTRY = {
+    "compress": _compress,
+    "jess": _jess,
+    "db": _db,
+    "javac": _javac,
+    "mtrt": _mtrt,
+    "jack": _jack,
+}

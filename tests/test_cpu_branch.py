@@ -1,0 +1,126 @@
+"""Tests for the branch predictor (BHT, BTB, RAS)."""
+
+import pytest
+
+from repro.config import CoreConfig
+from repro.cpu import BranchPredictor
+from repro.isa import Instruction, OpClass
+
+
+def _branch(pc, target, taken):
+    return Instruction(pc=pc, op=OpClass.BRANCH, srcs=(1,), target=target, taken=taken)
+
+
+def _call(pc, target):
+    return Instruction(pc=pc, op=OpClass.CALL, dest=31, target=target, taken=True)
+
+
+def _return(pc, target):
+    return Instruction(pc=pc, op=OpClass.RETURN, srcs=(31,), target=target, taken=True)
+
+
+class TestConditionalPrediction:
+    def test_loop_branch_trains_quickly(self):
+        predictor = BranchPredictor(CoreConfig())
+        results = []
+        for i in range(20):
+            results.append(predictor.predict(_branch(0x100, 0x80, taken=True)))
+        # After the BTB learns the target, everything is correct.
+        assert all(results[2:])
+
+    def test_loop_exit_mispredicts_once(self):
+        predictor = BranchPredictor(CoreConfig())
+        for _ in range(20):
+            predictor.predict(_branch(0x100, 0x80, taken=True))
+        assert not predictor.predict(_branch(0x100, 0x80, taken=False))
+        # Back in the loop next visit: 2-bit hysteresis keeps it taken.
+        assert predictor.predict(_branch(0x100, 0x80, taken=True))
+
+    def test_alternating_branch_is_hard(self):
+        predictor = BranchPredictor(CoreConfig())
+        correct = sum(
+            predictor.predict(_branch(0x200, 0x80, taken=(i % 2 == 0)))
+            for i in range(100)
+        )
+        assert correct < 70
+
+    def test_never_taken_branch_predicts_well(self):
+        predictor = BranchPredictor(CoreConfig())
+        results = [predictor.predict(_branch(0x300, 0x80, taken=False))
+                   for _ in range(20)]
+        assert all(results[2:])
+
+    def test_stats_accumulate(self):
+        predictor = BranchPredictor(CoreConfig())
+        for i in range(10):
+            predictor.predict(_branch(0x100, 0x80, taken=True))
+        assert predictor.stats.conditional == 10
+        assert 0.0 <= predictor.stats.accuracy <= 1.0
+
+
+class TestBTB:
+    def test_target_change_mispredicts(self):
+        predictor = BranchPredictor(CoreConfig())
+        jump = Instruction(pc=0x400, op=OpClass.JUMP, target=0x1000, taken=True)
+        predictor.predict(jump)  # cold miss
+        assert predictor.predict(jump)  # now learned
+        changed = Instruction(pc=0x400, op=OpClass.JUMP, target=0x2000, taken=True)
+        assert not predictor.predict(changed)
+
+    def test_aliasing_branches_interfere(self):
+        core = CoreConfig(btb_entries=16)
+        predictor = BranchPredictor(core)
+        a = Instruction(pc=0x0, op=OpClass.JUMP, target=0x1000, taken=True)
+        b = Instruction(pc=16 * 4, op=OpClass.JUMP, target=0x2000, taken=True)
+        predictor.predict(a)
+        predictor.predict(b)  # evicts a (same index)
+        assert not predictor.predict(a)
+
+
+class TestRAS:
+    def test_call_return_pairs_predict(self):
+        predictor = BranchPredictor(CoreConfig())
+        predictor.predict(_call(0x100, 0x1000))
+        assert predictor.predict(_return(0x1100, 0x104))
+
+    def test_nested_calls(self):
+        predictor = BranchPredictor(CoreConfig())
+        predictor.predict(_call(0x100, 0x1000))
+        predictor.predict(_call(0x1000, 0x2000))
+        assert predictor.predict(_return(0x2100, 0x1004))
+        assert predictor.predict(_return(0x1100, 0x104))
+
+    def test_overflow_drops_oldest(self):
+        core = CoreConfig(ras_entries=2)
+        predictor = BranchPredictor(core)
+        predictor.predict(_call(0x100, 0x1000))
+        predictor.predict(_call(0x200, 0x1000))
+        predictor.predict(_call(0x300, 0x1000))
+        assert predictor.predict(_return(0x1100, 0x304))
+        assert predictor.predict(_return(0x1100, 0x204))
+        # The first return address was pushed out.
+        assert not predictor.predict(_return(0x1100, 0x104))
+
+    def test_empty_ras_mispredicts(self):
+        predictor = BranchPredictor(CoreConfig())
+        assert not predictor.predict(_return(0x1100, 0x104))
+
+    def test_flush_ras(self):
+        predictor = BranchPredictor(CoreConfig())
+        predictor.predict(_call(0x100, 0x1000))
+        predictor.flush_ras()
+        assert not predictor.predict(_return(0x1100, 0x104))
+
+
+class TestValidation:
+    def test_rejects_non_control(self):
+        predictor = BranchPredictor(CoreConfig())
+        with pytest.raises(ValueError):
+            predictor.predict(Instruction(pc=0, op=OpClass.IALU))
+
+    def test_serialising_ops_never_mispredict(self):
+        predictor = BranchPredictor(CoreConfig())
+        assert predictor.predict(Instruction(pc=0, op=OpClass.SYSCALL))
+        assert predictor.predict(
+            Instruction(pc=0, op=OpClass.ERET, taken=True, target=0)
+        )

@@ -1,0 +1,273 @@
+"""Tests for the disk subsystem: mechanism, state machine, power management."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import (
+    DiskGeometry,
+    DiskMode,
+    MK3003MAN_POWER_W,
+    SPINDOWN_TIME_S,
+    SPINUP_TIME_S,
+    disk_configuration,
+)
+from repro.disk import (
+    DiskEnergyAccountant,
+    DiskMechanism,
+    DiskStateMachine,
+    IllegalDiskTransition,
+    PowerManagedDisk,
+    transition_time_s,
+)
+
+
+class TestMechanism:
+    def test_zero_distance_seek_is_free(self):
+        assert DiskMechanism().seek_time_s(0) == 0.0
+
+    def test_seek_time_monotone_in_distance(self):
+        mech = DiskMechanism()
+        times = [mech.seek_time_s(d) for d in (1, 50, 400, 1000, 1961)]
+        assert times == sorted(times)
+        assert times[0] >= mech.geometry.min_seek_ms / 1e3
+
+    def test_max_seek_bounded(self):
+        mech = DiskMechanism()
+        assert mech.seek_time_s(1961) <= mech.geometry.max_seek_ms / 1e3 * 1.001
+
+    def test_seek_rejects_negative_distance(self):
+        with pytest.raises(ValueError):
+            DiskMechanism().seek_time_s(-1)
+
+    def test_request_timing_components(self):
+        mech = DiskMechanism(seed=1)
+        timing = mech.request_timing(64 * 1024, cylinder=500)
+        assert timing.seek_s > 0
+        assert timing.rotation_s == pytest.approx(60.0 / 5400.0 / 2.0)
+        assert timing.transfer_s > 0
+        assert timing.service_s == pytest.approx(
+            timing.seek_s + timing.rotation_s + timing.transfer_s)
+
+    def test_transfer_scales_with_bytes(self):
+        mech = DiskMechanism(seed=1)
+        small = mech.request_timing(4096, cylinder=100).transfer_s
+        mech2 = DiskMechanism(seed=1)
+        large = mech2.request_timing(1 << 20, cylinder=100).transfer_s
+        assert large > small * 100
+
+    def test_head_position_tracked(self):
+        mech = DiskMechanism()
+        mech.request_timing(4096, cylinder=700)
+        assert mech.head_cylinder == 700
+
+    def test_rejects_bad_cylinder(self):
+        with pytest.raises(ValueError):
+            DiskMechanism().request_timing(4096, cylinder=99999)
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ValueError):
+            DiskMechanism().request_timing(0)
+
+
+class TestStateMachine:
+    def test_initial_mode_power(self):
+        machine = DiskStateMachine(DiskMode.IDLE)
+        assert machine.power_w() == pytest.approx(1.6)
+
+    def test_figure2_legal_cycle(self):
+        machine = DiskStateMachine(DiskMode.IDLE)
+        for mode in (DiskMode.SEEK, DiskMode.ACTIVE, DiskMode.IDLE,
+                     DiskMode.SPINDOWN, DiskMode.STANDBY, DiskMode.SPINUP,
+                     DiskMode.ACTIVE):
+            machine.transition(mode)
+        assert machine.mode is DiskMode.ACTIVE
+        assert machine.spinups == 1
+        assert machine.spindowns == 1
+
+    def test_illegal_transition_rejected(self):
+        machine = DiskStateMachine(DiskMode.STANDBY)
+        with pytest.raises(IllegalDiskTransition):
+            machine.transition(DiskMode.ACTIVE)  # must spin up first
+
+    def test_idle_to_active_requires_seek(self):
+        machine = DiskStateMachine(DiskMode.IDLE)
+        with pytest.raises(IllegalDiskTransition):
+            machine.transition(DiskMode.ACTIVE)
+
+    def test_sleep_via_command_only(self):
+        machine = DiskStateMachine(DiskMode.IDLE)
+        machine.transition(DiskMode.SLEEP)
+        assert machine.power_w() == pytest.approx(0.15)
+        with pytest.raises(IllegalDiskTransition):
+            machine.transition(DiskMode.IDLE)
+        machine.transition(DiskMode.SPINUP)
+
+    def test_self_transition_is_noop(self):
+        machine = DiskStateMachine(DiskMode.IDLE)
+        machine.transition(DiskMode.IDLE)
+        assert machine.transition_count == {}
+
+    def test_transition_times(self):
+        assert transition_time_s(DiskMode.SPINUP) == pytest.approx(SPINUP_TIME_S)
+        assert transition_time_s(DiskMode.SPINDOWN) == pytest.approx(SPINDOWN_TIME_S)
+        assert transition_time_s(DiskMode.IDLE) == 0.0
+
+
+class TestAccountant:
+    def test_energy_integration(self):
+        acc = DiskEnergyAccountant()
+        acc.accrue(DiskMode.ACTIVE, 2.0)
+        acc.accrue(DiskMode.IDLE, 5.0)
+        assert acc.energy_j == pytest.approx(2.0 * 3.2 + 5.0 * 1.6)
+        assert acc.total_time_s == pytest.approx(7.0)
+        assert acc.average_power_w() == pytest.approx(acc.energy_j / 7.0)
+        assert acc.mode_fraction(DiskMode.IDLE) == pytest.approx(5.0 / 7.0)
+
+    def test_spindown_costs_nothing(self):
+        acc = DiskEnergyAccountant()
+        acc.accrue(DiskMode.SPINDOWN, 5.0)
+        assert acc.energy_j == 0.0
+
+    def test_rejects_negative_duration(self):
+        with pytest.raises(ValueError):
+            DiskEnergyAccountant().accrue(DiskMode.IDLE, -1.0)
+
+    def test_empty_average_is_zero(self):
+        assert DiskEnergyAccountant().average_power_w() == 0.0
+
+
+class TestPowerManagedDisk:
+    def test_conventional_disk_never_idles(self):
+        disk = PowerManagedDisk(disk_configuration(1))
+        disk.request(0.1, 4096)
+        disk.finish(10.0)
+        assert disk.energy.time_in_mode_s[DiskMode.IDLE] == 0.0
+        assert disk.mode is DiskMode.ACTIVE
+
+    def test_idle_only_disk_drops_to_idle(self):
+        disk = PowerManagedDisk(disk_configuration(2))
+        result = disk.request(0.1, 4096)
+        assert disk.mode is DiskMode.IDLE
+        assert result.spinup_penalty_s == 0.0
+
+    def test_idle_only_never_spins_down(self):
+        disk = PowerManagedDisk(disk_configuration(2))
+        disk.request(0.1, 4096)
+        disk.finish(100.0)
+        assert disk.state.spindowns == 0
+
+    def test_spindown_fires_after_threshold(self):
+        disk = PowerManagedDisk(disk_configuration(3))
+        result = disk.request(0.1, 4096)
+        disk.advance(result.completion_s + 2.0 + SPINDOWN_TIME_S + 0.1)
+        assert disk.mode is DiskMode.STANDBY
+        assert disk.state.spindowns == 1
+
+    def test_no_spindown_within_threshold(self):
+        disk = PowerManagedDisk(disk_configuration(3))
+        result = disk.request(0.1, 4096)
+        disk.advance(result.completion_s + 1.9)
+        assert disk.mode is DiskMode.IDLE
+
+    def test_request_in_standby_pays_spinup(self):
+        disk = PowerManagedDisk(disk_configuration(3))
+        first = disk.request(0.1, 4096)
+        disk.advance(first.completion_s + 10.0)
+        assert disk.mode is DiskMode.STANDBY
+        second = disk.request(disk.clock_s + 0.1, 4096)
+        assert second.spinup_penalty_s == pytest.approx(SPINUP_TIME_S)
+        assert second.latency_s > SPINUP_TIME_S
+
+    def test_request_mid_spindown_waits_for_both(self):
+        """The compress pathology: a request lands during the spin-down."""
+        disk = PowerManagedDisk(disk_configuration(3))
+        first = disk.request(0.1, 4096)
+        arrival = first.completion_s + 2.0 + 1.0  # 1 s into the spin-down
+        second = disk.request(arrival, 4096)
+        # Must finish the remaining ~4 s of spin-down plus 5 s spin-up.
+        assert second.spinup_penalty_s == pytest.approx(4.0 + 5.0, abs=0.1)
+
+    def test_energy_conservation(self):
+        disk = PowerManagedDisk(disk_configuration(3))
+        disk.request(0.5, 64 * 1024)
+        disk.request(4.0, 8192)
+        disk.finish(20.0)
+        by_mode = sum(disk.energy.energy_in_mode_j.values())
+        assert disk.energy.energy_j == pytest.approx(by_mode)
+        expected = sum(
+            disk.energy.time_in_mode_s[mode] * MK3003MAN_POWER_W[mode]
+            for mode in DiskMode
+        )
+        assert disk.energy.energy_j == pytest.approx(expected)
+
+    def test_history_covers_whole_run(self):
+        disk = PowerManagedDisk(disk_configuration(3))
+        disk.request(0.5, 64 * 1024)
+        disk.request(6.0, 8192)
+        disk.finish(15.0)
+        span = sum(end - start for start, end, _ in disk.history)
+        assert span == pytest.approx(disk.clock_s)
+        # History is contiguous and ordered.
+        for (s0, e0, _), (s1, e1, _) in zip(disk.history, disk.history[1:]):
+            assert e0 == pytest.approx(s1)
+
+    def test_time_cannot_go_backwards(self):
+        disk = PowerManagedDisk(disk_configuration(2))
+        disk.advance(5.0)
+        with pytest.raises(ValueError):
+            disk.advance(4.0)
+
+    def test_idle_disk_cheaper_than_conventional(self):
+        """Section 4: transitioning to IDLE always saves energy."""
+        def run(number):
+            disk = PowerManagedDisk(disk_configuration(number), seed=3)
+            disk.request(0.5, 64 * 1024)
+            disk.request(3.0, 64 * 1024)
+            disk.finish(10.0)
+            return disk.energy.energy_j
+
+        assert run(2) < run(1)
+
+    def test_sleep_command(self):
+        disk = PowerManagedDisk(disk_configuration(2))
+        disk.request(0.1, 4096)
+        disk.sleep()
+        assert disk.mode is DiskMode.SLEEP
+
+    def test_sleep_rejected_while_active(self):
+        disk = PowerManagedDisk(disk_configuration(1))
+        with pytest.raises(RuntimeError):
+            disk.sleep()
+
+    def test_rejects_zero_byte_request(self):
+        disk = PowerManagedDisk(disk_configuration(1))
+        with pytest.raises(ValueError):
+            disk.request(0.0, 0)
+
+    @given(
+        config=st.sampled_from([1, 2, 3, 4]),
+        gaps=st.lists(st.floats(0.01, 12.0), min_size=1, max_size=12),
+        sizes=st.lists(st.integers(512, 1 << 20), min_size=12, max_size=12),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_any_request_sequence_is_consistent(self, config, gaps, sizes):
+        """Clock monotone, energy non-negative and mode-consistent,
+        under every policy and any synchronous request pattern."""
+        disk = PowerManagedDisk(disk_configuration(config), seed=7)
+        t = 0.0
+        last_clock = 0.0
+        for gap, size in zip(gaps, sizes):
+            t = disk.clock_s + gap
+            result = disk.request(t, size)
+            assert result.completion_s >= result.start_s >= 0
+            assert disk.clock_s >= last_clock
+            last_clock = disk.clock_s
+        disk.finish(disk.clock_s + 1.0)
+        assert disk.energy.energy_j >= 0.0
+        expected = sum(
+            disk.energy.time_in_mode_s[mode] * MK3003MAN_POWER_W[mode]
+            for mode in DiskMode
+        )
+        assert disk.energy.energy_j == pytest.approx(expected, rel=1e-9)
+        span = sum(end - start for start, end, _ in disk.history)
+        assert span == pytest.approx(disk.clock_s, rel=1e-9)

@@ -1,0 +1,154 @@
+"""Cross-module integration tests: whole-stack invariants."""
+
+import dataclasses
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro import SoftWatt
+from repro.core import Profiler, TimelineSimulator
+from repro.kernel import ExecutionMode
+from repro.workloads import BENCHMARK_NAMES, BenchmarkSpec, DiskEvent, benchmark
+
+WINDOW = 10_000
+
+
+@pytest.fixture(scope="module")
+def softwatt():
+    return SoftWatt(window_instructions=WINDOW, seed=3)
+
+
+class TestDeterminism:
+    def test_same_seed_identical_energy(self):
+        def run():
+            sw = SoftWatt(window_instructions=WINDOW, seed=11)
+            return sw.run("db", disk=2).total_energy_j
+
+        assert run() == pytest.approx(run(), rel=1e-12)
+
+    def test_different_seed_different_but_close(self):
+        def run(seed):
+            sw = SoftWatt(window_instructions=WINDOW, seed=seed)
+            return sw.run("db", disk=2).total_energy_j
+
+        a, b = run(11), run(12)
+        assert a != b
+        assert abs(a - b) / a < 0.25
+
+
+class TestSuiteInvariants:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_whole_stack_consistency(self, softwatt, name):
+        result = softwatt.run(name, disk=1)
+        modes = result.mode_breakdown()
+        # Percentages close.
+        assert sum(r.cycles_pct for r in modes.values()) == pytest.approx(100.0)
+        assert sum(r.energy_pct for r in modes.values()) == pytest.approx(100.0)
+        # Totals are physical.
+        assert result.total_energy_j > 0
+        assert result.peak_power_w >= result.average_power_w > 0
+        assert result.timeline.duration_s >= result.timeline.compute_duration_s
+        # Log time base covers the run.
+        assert result.timeline.log.duration_s == pytest.approx(
+            result.timeline.duration_s, abs=result.timeline.log.sample_interval_s)
+        # Disk accounting covers the run exactly.
+        assert result.timeline.disk.energy.total_time_s == pytest.approx(
+            result.timeline.duration_s, rel=1e-6)
+        # Kernel service shares add to ~100 within the kernel.
+        rows = result.service_breakdown()
+        assert sum(r.kernel_cycles_pct for r in rows) == pytest.approx(100.0)
+        assert sum(r.kernel_energy_pct for r in rows) == pytest.approx(100.0)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_idle_disk_always_saves(self, softwatt, name):
+        conventional = softwatt.run(name, disk=1)
+        idle = softwatt.run(name, disk=2)
+        assert idle.disk_energy_j < conventional.disk_energy_j
+        assert idle.timeline.duration_s == pytest.approx(
+            conventional.timeline.duration_s, rel=1e-6)
+
+    def test_disk_energy_independent_of_cpu_power(self, softwatt):
+        """The disk model is driven by the access timeline only."""
+        halted = softwatt.run("jess", disk=2, idle_policy="halt")
+        busy = softwatt.run("jess", disk=2)
+        assert halted.disk_energy_j == pytest.approx(busy.disk_energy_j)
+
+
+class TestCustomSpecs:
+    def _spec(self, duration_s, event_times, nbytes=32 * 1024):
+        base = benchmark("db")
+        events = tuple(DiskEvent(t, nbytes) for t in sorted(event_times))
+        return dataclasses.replace(
+            base, disk_events=events, compute_duration_s=duration_s)
+
+    def test_no_disk_events_means_no_idle(self, softwatt):
+        spec = dataclasses.replace(
+            benchmark("db"), disk_events=(), compute_duration_s=2.0)
+        result = softwatt.run(spec, disk=1)
+        assert result.idle_cycles == 0.0
+        assert result.timeline.duration_s == pytest.approx(
+            result.timeline.compute_duration_s)
+
+    def test_every_event_blocks_once(self, softwatt):
+        spec = self._spec(3.0, [0.5, 1.5, 2.5])
+        result = softwatt.run(spec, disk=2)
+        assert result.timeline.disk.requests == 3
+        assert result.timeline.idle_wait_s > 0
+
+    @given(
+        duration=st.floats(1.0, 12.0),
+        offsets=st.lists(st.floats(0.01, 0.99), min_size=0, max_size=8),
+        disk=st.sampled_from([1, 2, 3, 4]),
+    )
+    @settings(max_examples=20, deadline=None)
+    def test_timeline_invariants_under_random_schedules(
+        self, softwatt, duration, offsets, disk
+    ):
+        """Any event schedule, any policy: time and energy stay sane."""
+        times = sorted(round(duration * offset, 3) for offset in set(offsets))
+        spec = self._spec(duration, times)
+        result = softwatt.run(spec, disk=disk)
+        timeline = result.timeline
+        assert timeline.duration_s >= timeline.compute_duration_s - 1e-6
+        assert timeline.idle_wait_s >= 0.0
+        assert timeline.duration_s == pytest.approx(
+            timeline.compute_duration_s + timeline.idle_wait_s, rel=1e-6)
+        assert timeline.disk.requests == len(times)
+        assert result.total_energy_j > 0
+        modes = result.mode_breakdown()
+        assert sum(r.cycles_pct for r in modes.values()) == pytest.approx(100.0)
+
+
+class TestMachineVariants:
+    def test_mipsy_runs_longer_than_mxs(self):
+        mxs = SoftWatt(window_instructions=WINDOW, seed=3).run("db", disk=2)
+        mipsy = SoftWatt(cpu_model="mipsy", window_instructions=WINDOW,
+                         seed=3).run("db", disk=2)
+        assert mipsy.timeline.duration_s > mxs.timeline.duration_s
+
+    def test_hardware_tlb_removes_utlb(self):
+        from repro import SystemConfig
+
+        hard = SoftWatt(config=SystemConfig.table1().with_hardware_tlb(),
+                        window_instructions=WINDOW, seed=3)
+        result = hard.run("db", disk=1)
+        utlb_cycles = result.timeline.label_cycles.get("utlb", 0.0)
+        kernel_cycles = result.timeline.mode_cycles[ExecutionMode.KERNEL]
+        assert utlb_cycles < 0.05 * max(1.0, kernel_cycles)
+
+    def test_profiles_are_per_instance_caches(self, softwatt):
+        other = SoftWatt(window_instructions=WINDOW, seed=3)
+        assert softwatt.profile("db") is not other.profile("db")
+
+
+class TestTimelineDirect:
+    def test_sample_interval_controls_record_count(self):
+        profiler = Profiler(window_instructions=WINDOW, seed=3)
+        profile = profiler.profile_benchmark(benchmark("db"))
+        coarse = TimelineSimulator(profile, disk_policy=1,
+                                   sample_interval_s=0.5).run()
+        fine = TimelineSimulator(profile, disk_policy=1,
+                                 sample_interval_s=0.05).run()
+        assert len(fine.log) > 5 * len(coarse.log)
+        assert fine.log.total_cycles() == pytest.approx(
+            coarse.log.total_cycles(), rel=0.02)

@@ -1,0 +1,191 @@
+"""Tests for the abstract ISA: instructions and trace helpers."""
+
+import itertools
+
+import pytest
+
+from repro.isa import (
+    EXECUTION_LATENCY,
+    Instruction,
+    OpClass,
+    copy_loop,
+    counted_loop,
+    memory_walk,
+    spin_loop,
+    straightline,
+    take,
+)
+
+
+class TestOpClass:
+    def test_memory_classification(self):
+        assert OpClass.LOAD.is_memory
+        assert OpClass.STORE.is_memory
+        assert OpClass.SYNC.is_memory
+        assert OpClass.CACHEOP.is_memory
+        assert not OpClass.IALU.is_memory
+        assert not OpClass.BRANCH.is_memory
+
+    def test_control_classification(self):
+        for op in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL, OpClass.RETURN,
+                   OpClass.SYSCALL, OpClass.ERET):
+            assert op.is_control
+        assert not OpClass.LOAD.is_control
+
+    def test_fp_classification(self):
+        assert OpClass.FALU.is_fp
+        assert OpClass.FMUL.is_fp
+        assert not OpClass.IMUL.is_fp
+
+    def test_every_op_has_a_latency(self):
+        for op in OpClass:
+            assert EXECUTION_LATENCY[op] >= 1
+
+
+class TestInstruction:
+    def test_next_pc_fall_through(self):
+        instr = Instruction(pc=0x1000, op=OpClass.IALU, dest=1)
+        assert instr.fall_through == 0x1004
+        assert instr.next_pc == 0x1004
+
+    def test_next_pc_taken_branch(self):
+        instr = Instruction(pc=0x1000, op=OpClass.BRANCH, srcs=(1,),
+                            target=0x2000, taken=True)
+        assert instr.next_pc == 0x2000
+
+    def test_next_pc_not_taken_branch(self):
+        instr = Instruction(pc=0x1000, op=OpClass.BRANCH, srcs=(1,),
+                            target=0x2000, taken=False)
+        assert instr.next_pc == 0x1004
+
+    def test_rejects_misaligned_pc(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0x1002, op=OpClass.IALU)
+
+    def test_rejects_negative_pc(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=-4, op=OpClass.IALU)
+
+    def test_memory_op_requires_size(self):
+        with pytest.raises(ValueError):
+            Instruction(pc=0, op=OpClass.LOAD, dest=1, address=0x100)
+
+    def test_service_label_carried(self):
+        instr = Instruction(pc=0, op=OpClass.IALU, service="utlb")
+        assert instr.service == "utlb"
+
+
+class TestStraightline:
+    def test_sequential_pcs(self):
+        instrs = list(straightline(0x400, [OpClass.IALU] * 5))
+        assert [i.pc for i in instrs] == [0x400, 0x404, 0x408, 0x40C, 0x410]
+
+    def test_rejects_memory_ops(self):
+        with pytest.raises(ValueError):
+            list(straightline(0, [OpClass.LOAD]))
+
+    def test_rejects_control_ops(self):
+        with pytest.raises(ValueError):
+            list(straightline(0, [OpClass.BRANCH]))
+
+
+class TestCountedLoop:
+    @staticmethod
+    def _body(iteration, pc):
+        yield Instruction(pc=pc, op=OpClass.IALU, dest=3)
+        yield Instruction(pc=pc + 4, op=OpClass.IALU, dest=4)
+
+    def test_back_branch_taken_pattern(self):
+        instrs = list(counted_loop(0x100, 4, self._body))
+        branches = [i for i in instrs if i.op is OpClass.BRANCH]
+        assert len(branches) == 4
+        assert [b.taken for b in branches] == [True, True, True, False]
+
+    def test_static_pcs_repeat_each_iteration(self):
+        instrs = list(counted_loop(0x100, 3, self._body))
+        per_iteration = len(instrs) // 3
+        first = [i.pc for i in instrs[:per_iteration]]
+        second = [i.pc for i in instrs[per_iteration: 2 * per_iteration]]
+        assert first == second
+
+    def test_branch_targets_loop_head(self):
+        instrs = list(counted_loop(0x100, 2, self._body))
+        for branch in (i for i in instrs if i.op is OpClass.BRANCH):
+            assert branch.target == 0x100
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            list(counted_loop(0x100, 0, self._body))
+
+    def test_rejects_varying_body_length(self):
+        def bad_body(iteration, pc):
+            for i in range(iteration + 1):
+                yield Instruction(pc=pc + 4 * i, op=OpClass.IALU, dest=3)
+
+        with pytest.raises(ValueError):
+            list(counted_loop(0x100, 3, bad_body))
+
+
+class TestMemoryWalk:
+    def test_store_walk_addresses(self):
+        instrs = list(memory_walk(0x200, OpClass.STORE, 0x8000, 4, stride=8))
+        stores = [i for i in instrs if i.op is OpClass.STORE]
+        assert [s.address for s in stores] == [0x8000, 0x8008, 0x8010, 0x8018]
+
+    def test_load_walk(self):
+        instrs = list(memory_walk(0x200, OpClass.LOAD, 0x8000, 3, stride=64))
+        loads = [i for i in instrs if i.op is OpClass.LOAD]
+        assert len(loads) == 3
+        assert loads[-1].address == 0x8000 + 2 * 64
+
+    def test_rejects_non_memory_op(self):
+        with pytest.raises(ValueError):
+            list(memory_walk(0, OpClass.IALU, 0, 4))
+
+    def test_rejects_zero_count(self):
+        with pytest.raises(ValueError):
+            list(memory_walk(0, OpClass.LOAD, 0, 0))
+
+
+class TestCopyLoop:
+    def test_moves_requested_bytes(self):
+        instrs = list(copy_loop(0x300, 0x1000, 0x2000, 64, word=8))
+        loads = [i for i in instrs if i.op is OpClass.LOAD]
+        stores = [i for i in instrs if i.op is OpClass.STORE]
+        assert len(loads) == 8
+        assert len(stores) == 8
+        assert loads[0].address == 0x1000
+        assert stores[0].address == 0x2000
+
+    def test_rounds_up_partial_word(self):
+        instrs = list(copy_loop(0x300, 0, 0x100, 12, word=8))
+        loads = [i for i in instrs if i.op is OpClass.LOAD]
+        assert len(loads) == 2
+
+    def test_rejects_zero_bytes(self):
+        with pytest.raises(ValueError):
+            list(copy_loop(0, 0, 0x100, 0))
+
+
+class TestSpinLoop:
+    def test_shape_and_exit(self):
+        instrs = list(spin_loop(0x400, 0xA000, 5, service="kernel_sync"))
+        syncs = [i for i in instrs if i.op is OpClass.SYNC]
+        branches = [i for i in instrs if i.op is OpClass.BRANCH]
+        assert len(syncs) == 5
+        assert [b.taken for b in branches] == [True] * 4 + [False]
+        assert all(i.service == "kernel_sync" for i in instrs)
+
+    def test_sync_targets_lock_address(self):
+        instrs = list(spin_loop(0x400, 0xA000, 2))
+        assert all(i.address == 0xA000 for i in instrs if i.op is OpClass.SYNC)
+
+    def test_rejects_zero_spins(self):
+        with pytest.raises(ValueError):
+            list(spin_loop(0, 0, 0))
+
+
+class TestTake:
+    def test_take_limits_infinite_stream(self):
+        infinite = (Instruction(pc=4 * i, op=OpClass.IALU) for i in itertools.count())
+        assert len(take(infinite, 10)) == 10

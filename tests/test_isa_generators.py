@@ -1,0 +1,175 @@
+"""Tests for the synthetic code generator (including property tests)."""
+
+import collections
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import CodeSignature, OpClass, SyntheticCodeGenerator, take
+
+
+def _default_signature(**overrides) -> CodeSignature:
+    params = dict(name="test")
+    params.update(overrides)
+    return CodeSignature(**params)
+
+
+class TestCodeSignatureValidation:
+    def test_rejects_out_of_range_fraction(self):
+        with pytest.raises(ValueError):
+            _default_signature(load_fraction=1.5)
+
+    def test_rejects_mix_over_one(self):
+        with pytest.raises(ValueError):
+            _default_signature(load_fraction=0.6, store_fraction=0.5)
+
+    def test_rejects_nonpositive_dependency_distance(self):
+        with pytest.raises(ValueError):
+            _default_signature(dependency_distance=0.0)
+
+    def test_rejects_hot_code_exceeding_footprint(self):
+        with pytest.raises(ValueError):
+            _default_signature(hot_code_bytes=1 << 20, code_footprint_bytes=1 << 16)
+
+    def test_rejects_hot_data_exceeding_footprint(self):
+        with pytest.raises(ValueError):
+            _default_signature(hot_data_bytes=1 << 24, data_footprint_bytes=1 << 20)
+
+    def test_rejects_tiny_loop_shape(self):
+        with pytest.raises(ValueError):
+            _default_signature(loop_body_mean=1)
+
+
+class TestDeterminism:
+    def test_same_seed_same_stream(self):
+        sig = _default_signature()
+        first = take(iter(SyntheticCodeGenerator(sig, seed=7)), 3000)
+        second = take(iter(SyntheticCodeGenerator(sig, seed=7)), 3000)
+        assert first == second
+
+    def test_different_seed_different_stream(self):
+        sig = _default_signature()
+        first = take(iter(SyntheticCodeGenerator(sig, seed=7)), 3000)
+        second = take(iter(SyntheticCodeGenerator(sig, seed=8)), 3000)
+        assert first != second
+
+
+class TestStaticCodeStability:
+    def test_same_pc_same_opclass_across_visits(self):
+        """Revisited code must look identical to the I-side structures."""
+        sig = _default_signature(hot_code_bytes=4096, hot_code_fraction=1.0,
+                                 code_footprint_bytes=4096)
+        instrs = take(iter(SyntheticCodeGenerator(sig, seed=3)), 20000)
+        op_at_pc: dict[int, OpClass] = {}
+        for instr in instrs:
+            seen = op_at_pc.setdefault(instr.pc, instr.op)
+            assert seen is instr.op, f"pc {instr.pc:#x}: {seen} vs {instr.op}"
+
+    def test_branch_targets_stable_per_site(self):
+        sig = _default_signature(hot_code_bytes=4096, hot_code_fraction=1.0,
+                                 code_footprint_bytes=4096)
+        instrs = take(iter(SyntheticCodeGenerator(sig, seed=3)), 20000)
+        target_at_pc: dict[int, int] = {}
+        for instr in instrs:
+            if instr.op in (OpClass.BRANCH, OpClass.JUMP, OpClass.CALL):
+                seen = target_at_pc.setdefault(instr.pc, instr.target)
+                assert seen == instr.target
+
+
+class TestStatisticalShape:
+    def test_instruction_mix_tracks_signature(self):
+        sig = _default_signature(load_fraction=0.30, store_fraction=0.05,
+                                 fp_fraction=0.0)
+        instrs = take(iter(SyntheticCodeGenerator(sig, seed=11)), 40000)
+        counts = collections.Counter(i.op for i in instrs)
+        body_ops = sum(
+            counts[op] for op in (OpClass.LOAD, OpClass.STORE, OpClass.IALU,
+                                  OpClass.IMUL, OpClass.FALU, OpClass.FMUL)
+        )
+        load_share = counts[OpClass.LOAD] / body_ops
+        store_share = counts[OpClass.STORE] / body_ops
+        assert load_share == pytest.approx(0.30, abs=0.08)
+        assert store_share == pytest.approx(0.05, abs=0.04)
+        assert counts[OpClass.FALU] == 0
+        assert counts[OpClass.FMUL] == 0
+
+    def test_fp_signature_emits_fp_ops(self):
+        sig = _default_signature(fp_fraction=0.25)
+        instrs = take(iter(SyntheticCodeGenerator(sig, seed=11)), 20000)
+        counts = collections.Counter(i.op for i in instrs)
+        assert counts[OpClass.FALU] + counts[OpClass.FMUL] > 1000
+
+    def test_code_stays_within_footprint(self):
+        sig = _default_signature(code_footprint_bytes=64 * 1024)
+        instrs = take(iter(SyntheticCodeGenerator(sig, seed=5)), 20000)
+        top = sig.code_base + sig.code_footprint_bytes + 4096
+        assert all(sig.code_base <= i.pc < top for i in instrs)
+
+    def test_data_stays_within_footprint(self):
+        sig = _default_signature(data_footprint_bytes=1 << 20)
+        instrs = take(iter(SyntheticCodeGenerator(sig, seed=5)), 20000)
+        top = sig.data_base + sig.data_footprint_bytes
+        for instr in instrs:
+            if instr.op.is_memory:
+                assert sig.data_base <= instr.address < top
+
+    def test_service_label_propagates(self):
+        gen = SyntheticCodeGenerator(_default_signature(), seed=1, service="BSD")
+        assert all(i.service == "BSD" for i in take(iter(gen), 500))
+
+    def test_loop_iterations_affect_branch_density(self):
+        short = _default_signature(loop_iterations_mean=2)
+        long = _default_signature(loop_iterations_mean=128)
+        count = 20000
+        short_returns = sum(
+            1 for i in take(iter(SyntheticCodeGenerator(short, seed=4)), count)
+            if i.op is OpClass.RETURN
+        )
+        long_returns = sum(
+            1 for i in take(iter(SyntheticCodeGenerator(long, seed=4)), count)
+            if i.op is OpClass.RETURN
+        )
+        # Short loops finish functions far more often.
+        assert short_returns > long_returns * 2
+
+
+@st.composite
+def signatures(draw):
+    load = draw(st.floats(0.0, 0.4))
+    store = draw(st.floats(0.0, 0.3))
+    fp = draw(st.floats(0.0, min(0.3, 0.99 - load - store)))
+    return CodeSignature(
+        name="hyp",
+        load_fraction=load,
+        store_fraction=store,
+        fp_fraction=fp,
+        dependency_distance=draw(st.floats(0.5, 32.0)),
+        loop_body_mean=draw(st.integers(2, 24)),
+        loop_iterations_mean=draw(st.integers(1, 128)),
+        irregular_branch_fraction=draw(st.floats(0.0, 0.5)),
+        call_fraction=draw(st.floats(0.0, 0.3)),
+        temporal_locality=draw(st.floats(0.0, 1.0)),
+        spatial_run_mean=draw(st.integers(1, 64)),
+    )
+
+
+class TestGeneratorProperties:
+    @given(signatures(), st.integers(0, 1000))
+    @settings(max_examples=25, deadline=None)
+    def test_stream_is_well_formed(self, sig, seed):
+        """Any legal signature yields well-formed instructions."""
+        instrs = take(iter(SyntheticCodeGenerator(sig, seed=seed)), 600)
+        assert len(instrs) == 600
+        for instr in instrs:
+            assert instr.pc % 4 == 0
+            if instr.op.is_memory:
+                assert instr.size > 0
+            if instr.op is OpClass.BRANCH:
+                assert instr.target % 4 == 0
+
+    @given(signatures())
+    @settings(max_examples=15, deadline=None)
+    def test_determinism_property(self, sig):
+        a = take(iter(SyntheticCodeGenerator(sig, seed=42)), 300)
+        b = take(iter(SyntheticCodeGenerator(sig, seed=42)), 300)
+        assert a == b

@@ -1,0 +1,260 @@
+"""Tests for the operating-system model: services, kernel, scheduler."""
+
+import collections
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.cpu import MXSProcessor
+from repro.isa import CodeSignature, Instruction, OpClass, SyntheticCodeGenerator
+from repro.kernel import (
+    EXTERNAL_SERVICES,
+    INTERNAL_SERVICES,
+    KERNEL_SERVICES,
+    SYNC_LABEL,
+    ExecutionMode,
+    InterleavedWorkload,
+    Kernel,
+    KernelServices,
+    ServiceRate,
+    SyscallPlan,
+    idle_loop,
+    mode_of_label,
+)
+from repro.mem import KSEG_BASE, MemoryHierarchy
+from repro.stats.counters import AccessCounters
+
+
+@pytest.fixture
+def config():
+    return SystemConfig.table1()
+
+
+@pytest.fixture
+def services(config):
+    return KernelServices(config, seed=1)
+
+
+class TestModes:
+    def test_label_mapping(self):
+        assert mode_of_label(None) is ExecutionMode.USER
+        assert mode_of_label("idle") is ExecutionMode.IDLE
+        assert mode_of_label(SYNC_LABEL) is ExecutionMode.SYNC
+        assert mode_of_label("utlb") is ExecutionMode.KERNEL
+        assert mode_of_label("read") is ExecutionMode.KERNEL
+
+    def test_all_services_classified(self):
+        for service in KERNEL_SERVICES:
+            assert (service in INTERNAL_SERVICES) != (service in EXTERNAL_SERVICES)
+
+
+class TestServiceBodies:
+    def test_all_table4_services_buildable(self, services, config):
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        for name in KERNEL_SERVICES:
+            body = list(services.invoke(name, hierarchy=hierarchy))
+            assert body, name
+            assert body[-1].op is OpClass.ERET, name
+            assert all(i.service == name for i in body), name
+            assert all(i.pc >= KSEG_BASE for i in body), name
+
+    def test_unknown_service_rejected(self, services):
+        with pytest.raises(KeyError):
+            services.invoke("frobnicate")
+
+    def test_utlb_is_short_and_not_data_intensive(self, services):
+        """The key Figure 8 property: utlb barely touches the D-side.
+
+        The body is the full trap path (context save, one PTE load,
+        entry formatting, restore): ~50 instructions, a single load."""
+        body = list(services.utlb(0x1234_5678))
+        loads = sum(1 for i in body if i.op.is_memory)
+        assert len(body) <= 60
+        assert loads <= 2
+
+    def test_demand_zero_writes_a_full_page(self, services):
+        body = list(services.demand_zero())
+        stores = [i for i in body if i.op is OpClass.STORE]
+        assert len(stores) == 4096 // 8
+
+    def test_demand_zero_fixed_work(self, services):
+        a = len(list(services.demand_zero()))
+        b = len(list(services.demand_zero()))
+        assert a == b
+
+    def test_read_work_scales_with_size(self, services):
+        small = len(list(services.read(256)))
+        large = len(list(services.read(8192)))
+        assert large > small * 3
+
+    def test_read_is_data_dependent(self, services):
+        """Externally-invoked services vary per invocation (Table 5)."""
+        lengths = {len(list(services.read())) for _ in range(12)}
+        assert len(lengths) > 1
+
+    def test_open_scales_with_path_depth(self, services):
+        shallow = len(list(services.open(1)))
+        deep = len(list(services.open(8)))
+        assert deep > shallow * 2
+
+    def test_open_rejects_empty_path(self, services):
+        with pytest.raises(ValueError):
+            list(services.open(0))
+
+    def test_cacheflush_applies_architectural_flush(self, services, config):
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        hierarchy.fetch(KSEG_BASE)
+        assert hierarchy.fetch(KSEG_BASE).latency == 0
+        for _ in services.cacheflush(hierarchy):
+            pass
+        assert hierarchy.fetch(KSEG_BASE).latency > 0
+
+    def test_sync_section_uses_sync_label(self, services):
+        body = list(services.sync_section(spins=4))
+        assert all(i.service == SYNC_LABEL for i in body)
+        assert any(i.op is OpClass.SYNC for i in body)
+
+    def test_deterministic_per_seed(self, config):
+        a = list(KernelServices(config, seed=9).read())
+        b = list(KernelServices(config, seed=9).read())
+        assert a == b
+
+
+class TestKernelFacade:
+    def _kernel(self, config):
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        return Kernel(config, hierarchy, file_cache_pages=64, seed=3)
+
+    def test_read_hits_warm_file_cache(self, config):
+        kernel = self._kernel(config)
+        kernel.file_cache.warm(1, 64 * 1024)
+        result = kernel.sys_read(1, 0, 4096)
+        assert result.disk_bytes == 0
+
+    def test_read_cold_file_goes_to_disk(self, config):
+        kernel = self._kernel(config)
+        result = kernel.sys_read(5, 0, 8192)
+        assert result.disk_bytes >= 8192
+
+    def test_read_caches_for_next_time(self, config):
+        kernel = self._kernel(config)
+        kernel.sys_read(5, 0, 4096)
+        again = kernel.sys_read(5, 0, 4096)
+        assert again.disk_bytes == 0
+
+    def test_write_is_write_behind(self, config):
+        kernel = self._kernel(config)
+        result = kernel.sys_write(1, 0, 4096)
+        assert result.disk_bytes == 0
+
+    def test_invocations_counted(self, config):
+        kernel = self._kernel(config)
+        kernel.sys_read(1, 0, 512)
+        kernel.sys_open()
+        for _ in kernel.page_fault_zero():
+            pass
+        assert kernel.invocations["read"] == 1
+        assert kernel.invocations["open"] == 1
+        assert kernel.invocations["demand_zero"] == 1
+
+    def test_utlb_handler_counted(self, config):
+        kernel = self._kernel(config)
+        list(kernel.utlb_handler(0x1000))
+        assert kernel.invocations["utlb"] == 1
+
+    def test_flush_caches_passes_hierarchy(self, config):
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        kernel = Kernel(config, hierarchy)
+        hierarchy.fetch(KSEG_BASE)
+        for _ in kernel.flush_caches():
+            pass
+        assert hierarchy.fetch(KSEG_BASE).latency > 0
+
+
+class TestInterleavedWorkload:
+    def _build(self, config, **kwargs):
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        kernel = Kernel(config, hierarchy, seed=2)
+        for file_id in range(4):
+            kernel.file_cache.warm(file_id, 256 * 1024)
+        sig = CodeSignature(name="t")
+        user = SyntheticCodeGenerator(sig, seed=2)
+        return kernel, InterleavedWorkload(user, kernel, seed=5, **kwargs)
+
+    def test_pure_user_stream_passthrough(self, config):
+        _, workload = self._build(config)
+        instrs = [instr for _, instr in zip(range(2000), iter(workload))]
+        assert all(i.service is None for i in instrs)
+
+    def test_service_rate_injection(self, config):
+        kernel, workload = self._build(
+            config, service_rates=[ServiceRate("demand_zero", 500)])
+        labels = collections.Counter(
+            i.service for _, i in zip(range(40000), iter(workload)))
+        assert labels["demand_zero"] > 0
+        assert kernel.invocations["demand_zero"] >= 3
+
+    def test_syscalls_injected_with_marker(self, config):
+        _, workload = self._build(
+            config, syscalls=SyscallPlan(mean_gap_instructions=800))
+        ops = [i.op for _, i in zip(range(20000), iter(workload))]
+        assert OpClass.SYSCALL in ops
+
+    def test_sync_injection(self, config):
+        _, workload = self._build(config, sync_mean_gap=700)
+        labels = {i.service for _, i in zip(range(20000), iter(workload))}
+        assert SYNC_LABEL in labels
+
+    def test_deterministic(self, config):
+        def collect():
+            _, workload = self._build(
+                config, service_rates=[ServiceRate("vfault", 900)],
+                sync_mean_gap=1500)
+            return [i for _, i in zip(range(5000), iter(workload))]
+
+        assert collect() == collect()
+
+    def test_service_rate_validation(self):
+        with pytest.raises(ValueError):
+            ServiceRate("utlb", 0)
+
+    def test_syscall_plan_validation(self):
+        with pytest.raises(ValueError):
+            SyscallPlan(mean_gap_instructions=0)
+        with pytest.raises(ValueError):
+            SyscallPlan(mean_gap_instructions=100, read_weight=0,
+                        write_weight=0, open_weight=0)
+
+
+class TestIdleLoop:
+    def test_shape(self):
+        instrs = list(idle_loop(10))
+        assert all(i.service == "idle" for i in instrs)
+        assert all(i.pc >= KSEG_BASE for i in instrs)
+        branches = [i for i in instrs if i.op is OpClass.BRANCH]
+        assert [b.taken for b in branches] == [True] * 9 + [False]
+
+    def test_loads_poll_fixed_addresses(self):
+        addresses = {i.address for i in idle_loop(50) if i.op is OpClass.LOAD}
+        assert len(addresses) == 2
+
+    def test_rejects_zero_iterations(self):
+        with pytest.raises(ValueError):
+            list(idle_loop(0))
+
+
+class TestServiceInstructionLevelBehaviour:
+    def test_utlb_has_lowest_power_profile(self, config):
+        """Run utlb and read on the CPU: utlb must exercise fewer units
+        per cycle (Figure 8's ordering)."""
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        kernel = Kernel(config, hierarchy, seed=4)
+        cpu = MXSProcessor(config, hierarchy, trap_client=kernel)
+        for _ in range(4):  # warm
+            cpu.run(kernel.invoke_service("utlb"))
+            cpu.run(kernel.invoke_service("read"))
+        utlb = cpu.run(kernel.invoke_service("utlb"))
+        read = cpu.run(kernel.invoke_service("read"))
+        utlb_l1d_rate = utlb.total_counters().l1d_access / utlb.cycles
+        read_l1d_rate = read.total_counters().l1d_access / read.cycles
+        assert utlb_l1d_rate < read_l1d_rate

@@ -1,0 +1,275 @@
+"""Tests for the memory hierarchy substrate."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.config import CacheConfig, SystemConfig, TLBConfig
+from repro.mem import (
+    Cache,
+    FileCache,
+    KSEG_BASE,
+    MemoryHierarchy,
+    TLB,
+)
+from repro.stats.counters import AccessCounters
+
+KB = 1024
+
+
+def small_cache(**overrides) -> Cache:
+    params = dict(name="t", size_bytes=1 * KB, line_bytes=64,
+                  associativity=2, latency_cycles=1)
+    params.update(overrides)
+    return Cache(CacheConfig(**params))
+
+
+class TestCache:
+    def test_first_access_misses_then_hits(self):
+        cache = small_cache()
+        hit, _ = cache.access(0x1000)
+        assert not hit
+        hit, _ = cache.access(0x1000)
+        assert hit
+
+    def test_same_line_different_word_hits(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        hit, _ = cache.access(0x103C)
+        assert hit
+
+    def test_adjacent_line_misses(self):
+        cache = small_cache()
+        cache.access(0x1000)
+        hit, _ = cache.access(0x1040)
+        assert not hit
+
+    def test_lru_eviction_order(self):
+        cache = small_cache()  # 8 sets, 2 ways
+        set_stride = 8 * 64  # same set index every 512 bytes
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        cache.access(a)
+        cache.access(b)
+        cache.access(a)       # a is now MRU
+        cache.access(c)       # evicts b
+        assert cache.probe(a)
+        assert not cache.probe(b)
+        assert cache.probe(c)
+
+    def test_writeback_on_dirty_eviction(self):
+        cache = small_cache()
+        set_stride = 8 * 64
+        cache.access(0x0, write=True)
+        cache.access(set_stride)
+        _, writeback = cache.access(2 * set_stride)
+        assert writeback
+        assert cache.stats.writebacks == 1
+
+    def test_write_through_never_writes_back(self):
+        cache = small_cache(write_back=False)
+        set_stride = 8 * 64
+        cache.access(0x0, write=True)
+        cache.access(set_stride)
+        _, writeback = cache.access(2 * set_stride)
+        assert not writeback
+
+    def test_invalidate_all(self):
+        cache = small_cache()
+        for i in range(8):
+            cache.access(i * 64)
+        assert cache.resident_lines() == 8
+        dropped = cache.invalidate_all()
+        assert dropped == 8
+        assert cache.resident_lines() == 0
+        assert not cache.probe(0)
+
+    def test_miss_rate(self):
+        cache = small_cache()
+        cache.access(0)
+        cache.access(0)
+        assert cache.stats.miss_rate == pytest.approx(0.5)
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            small_cache().access(-8)
+
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_occupancy_never_exceeds_capacity(self, addresses):
+        cache = small_cache()
+        for address in addresses:
+            cache.access(address)
+        assert cache.resident_lines() <= cache.config.num_lines
+        assert cache.stats.hits + cache.stats.misses == cache.stats.accesses
+
+    @given(st.lists(st.integers(0, 1 << 16), min_size=1, max_size=200))
+    @settings(max_examples=40, deadline=None)
+    def test_immediate_reaccess_always_hits(self, addresses):
+        cache = small_cache()
+        for address in addresses:
+            cache.access(address)
+            hit, _ = cache.access(address)
+            assert hit
+
+
+class TestTLB:
+    def test_miss_does_not_install(self):
+        tlb = TLB(TLBConfig(entries=4))
+        assert not tlb.access(0x1000)
+        assert not tlb.access(0x1000)  # still missing: software managed
+
+    def test_refill_installs(self):
+        tlb = TLB(TLBConfig(entries=4))
+        tlb.access(0x1000)
+        tlb.refill(0x1000)
+        assert tlb.access(0x1234)  # same page
+
+    def test_lru_eviction(self):
+        tlb = TLB(TLBConfig(entries=2))
+        for page in (0, 1, 0, 2):  # touch 0, 1, re-touch 0, install 2
+            tlb.refill(page << 12)
+            tlb.access(page << 12)
+        assert tlb.contains(0 << 12)
+        assert tlb.contains(2 << 12)
+
+    def test_occupancy_bounded(self):
+        tlb = TLB(TLBConfig(entries=8))
+        for page in range(100):
+            tlb.refill(page << 12)
+        assert tlb.occupancy == 8
+
+    def test_flush(self):
+        tlb = TLB(TLBConfig(entries=8))
+        tlb.refill(0x1000)
+        assert tlb.flush() == 1
+        assert tlb.occupancy == 0
+
+    def test_rejects_negative_address(self):
+        with pytest.raises(ValueError):
+            TLB(TLBConfig()).access(-1)
+
+    @given(st.lists(st.integers(0, 1 << 28), min_size=1, max_size=300))
+    @settings(max_examples=40, deadline=None)
+    def test_refill_then_access_hits(self, addresses):
+        tlb = TLB(TLBConfig(entries=16))
+        for address in addresses:
+            tlb.refill(address)
+            assert tlb.access(address)
+            assert tlb.occupancy <= 16
+
+
+class TestMemoryHierarchy:
+    def _hierarchy(self, config=None):
+        config = config or SystemConfig.table1()
+        return MemoryHierarchy(config, AccessCounters())
+
+    def test_kseg_bypasses_tlb(self):
+        h = self._hierarchy()
+        result = h.fetch(KSEG_BASE + 0x100)
+        assert not result.tlb_miss
+        assert h.counters.tlb_access == 0
+
+    def test_user_fetch_takes_tlb_miss(self):
+        h = self._hierarchy()
+        result = h.fetch(0x0040_0000)
+        assert result.tlb_miss
+        assert h.counters.tlb_miss == 1
+
+    def test_refill_resolves_miss(self):
+        h = self._hierarchy()
+        h.fetch(0x0040_0000)
+        h.tlb_refill(0x0040_0000)
+        result = h.fetch(0x0040_0000)
+        assert not result.tlb_miss
+
+    def test_hardware_tlb_refills_invisibly(self):
+        h = self._hierarchy(SystemConfig.table1().with_hardware_tlb())
+        result = h.fetch(0x0040_0000)
+        assert not result.tlb_miss
+        assert h.counters.tlb_miss == 1  # the miss is still counted
+
+    def test_l2_attribution_split(self):
+        h = self._hierarchy()
+        h.fetch(KSEG_BASE)                      # I-side L1 miss -> L2I
+        h.data_access(KSEG_BASE + (1 << 22))    # D-side L1 miss -> L2D
+        assert h.counters.l2i_access == 1
+        assert h.counters.l2d_access == 1
+
+    def test_miss_latency_ordering(self):
+        h = self._hierarchy()
+        cold = h.data_access(KSEG_BASE + 0x10_0000).latency
+        warm = h.data_access(KSEG_BASE + 0x10_0000).latency
+        assert cold > warm
+        # +64 is a different L1 line but the same 128 B L2 line: an L1
+        # miss served from the L2 at L2-hit latency, cheaper than cold.
+        l2_resident = h.data_access(KSEG_BASE + 0x10_0000 + 64)
+        assert l2_resident.latency == h.config.l2.latency_cycles
+        assert l2_resident.latency < cold
+
+    def test_flush_caches_forces_refetch(self):
+        h = self._hierarchy()
+        h.fetch(KSEG_BASE)
+        assert h.fetch(KSEG_BASE).latency == 0
+        h.flush_caches()
+        assert h.fetch(KSEG_BASE).latency > 0
+
+    def test_warm_is_invisible_to_counters(self):
+        h = self._hierarchy()
+        h.warm([KSEG_BASE + i * 64 for i in range(100)])
+        assert h.counters.l1d_access == 0
+        assert h.l1d.stats.accesses == 0
+        # But the data really is resident.
+        assert h.data_access(KSEG_BASE).latency == 0
+
+
+class TestFileCache:
+    def test_lookup_miss_then_insert_hit(self):
+        cache = FileCache(capacity_pages=16)
+        assert cache.lookup(1, 0, 4096) == 1
+        cache.insert(1, 0, 4096)
+        assert cache.lookup(1, 0, 4096) == 0
+
+    def test_range_spanning_pages(self):
+        cache = FileCache(capacity_pages=16)
+        missing = cache.lookup(1, 4000, 8192)  # touches pages 0, 1, 2
+        assert missing == 3
+
+    def test_warm(self):
+        cache = FileCache(capacity_pages=64)
+        cache.warm(2, 8 * 4096)
+        assert cache.lookup(2, 0, 8 * 4096) == 0
+
+    def test_lru_eviction(self):
+        cache = FileCache(capacity_pages=2)
+        cache.insert(1, 0, 4096)
+        cache.insert(1, 4096, 4096)
+        cache.contains(1, 0)
+        cache.insert(1, 8192, 4096)  # evicts page 0 (oldest)
+        assert not cache.contains(1, 0)
+        assert cache.contains(1, 8192)
+
+    def test_distinct_files_do_not_collide(self):
+        cache = FileCache(capacity_pages=16)
+        cache.insert(1, 0, 4096)
+        assert cache.lookup(2, 0, 4096) == 1
+
+    def test_rejects_bad_geometry(self):
+        with pytest.raises(ValueError):
+            FileCache(capacity_pages=0)
+        with pytest.raises(ValueError):
+            FileCache(page_bytes=3000)
+
+    def test_rejects_bad_range(self):
+        cache = FileCache()
+        with pytest.raises(ValueError):
+            cache.lookup(1, -1, 100)
+        with pytest.raises(ValueError):
+            cache.lookup(1, 0, 0)
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(0, 1 << 18)),
+                    min_size=1, max_size=200))
+    @settings(max_examples=30, deadline=None)
+    def test_occupancy_bounded(self, ops):
+        cache = FileCache(capacity_pages=8)
+        for file_id, offset in ops:
+            cache.insert(file_id, offset, 4096)
+            assert cache.occupancy <= 8

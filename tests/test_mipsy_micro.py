@@ -1,0 +1,118 @@
+"""Micro tests for the Mipsy in-order model and the trap interface."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.cpu import InlineRefillClient, MipsyProcessor, UTLB_HANDLER_PC
+from repro.cpu.runstats import RunStats
+from repro.isa import Instruction, OpClass
+from repro.mem import KSEG_BASE
+
+
+def _alus(count):
+    for i in range(count):
+        yield Instruction(pc=KSEG_BASE + 4 * (i % 64), op=OpClass.IALU,
+                          dest=8, srcs=(0,))
+
+
+class TestMipsyTiming:
+    def setup_method(self):
+        self.config = SystemConfig.table1()
+
+    def test_one_cycle_per_alu_plus_misses(self):
+        cpu = MipsyProcessor(self.config)
+        stats = cpu.run(_alus(4000))
+        # One cycle each, plus a handful of cold I-cache misses.
+        assert 4000 <= stats.cycles <= 4300
+
+    def test_imul_latency_charged(self):
+        def muls(count):
+            for i in range(count):
+                yield Instruction(pc=KSEG_BASE + 4 * (i % 16), op=OpClass.IMUL,
+                                  dest=8, srcs=(0,))
+
+        cpu = MipsyProcessor(self.config)
+        alu_cycles = MipsyProcessor(self.config).run(_alus(2000)).cycles
+        mul_cycles = cpu.run(muls(2000)).cycles
+        assert mul_cycles > alu_cycles * 2
+
+    def test_store_does_not_block(self):
+        def stores(count):
+            for i in range(count):
+                yield Instruction(pc=KSEG_BASE + 4 * (i % 16), op=OpClass.STORE,
+                                  srcs=(8, 9),
+                                  address=KSEG_BASE + 0x100000 + i * 4096,
+                                  size=8)
+
+        def loads(count):
+            for i in range(count):
+                yield Instruction(pc=KSEG_BASE + 4 * (i % 16), op=OpClass.LOAD,
+                                  dest=8, srcs=(9,),
+                                  address=KSEG_BASE + 0x200000 + i * 4096,
+                                  size=8)
+
+        store_cycles = MipsyProcessor(self.config).run(stores(1500)).cycles
+        load_cycles = MipsyProcessor(self.config).run(loads(1500)).cycles
+        # Same miss pattern, but loads block the pipeline.
+        assert load_cycles > store_cycles * 1.5
+
+    def test_counters_have_no_ooo_structures(self):
+        cpu = MipsyProcessor(self.config)
+        stats = cpu.run(_alus(1000))
+        totals = stats.total_counters()
+        assert totals.window_dispatch == 0
+        assert totals.lsq_access == 0
+        assert totals.rename_access == 0
+        assert totals.regfile_read > 0
+        assert totals.ialu_access == 1000
+
+
+class TestInlineRefillClient:
+    def test_handler_shape(self):
+        client = InlineRefillClient()
+        body = list(client.utlb_handler(0x1234_5000))
+        assert body[0].pc == UTLB_HANDLER_PC
+        assert body[-1].op is OpClass.ERET
+        assert all(instr.service == "utlb" for instr in body)
+        assert all(instr.pc >= KSEG_BASE for instr in body)
+
+    def test_pte_address_tracks_faulting_page(self):
+        client = InlineRefillClient()
+
+        def pte_of(address):
+            body = list(client.utlb_handler(address))
+            loads = [i for i in body if i.op is OpClass.LOAD]
+            assert len(loads) == 1
+            return loads[0].address
+
+        assert pte_of(0x1000_0000) != pte_of(0x1000_5000)
+        assert pte_of(0x1000_0000) == pte_of(0x1000_0FFF)  # same page
+
+
+class TestRunStatsMerge:
+    def test_merged_adds_everything(self):
+        cpu = MipsyProcessor(SystemConfig.table1())
+        first = cpu.run(_alus(500))
+        second = MipsyProcessor(SystemConfig.table1()).run(_alus(700))
+        merged = first.merged(second)
+        assert merged.instructions == 1200
+        assert merged.cycles == first.cycles + second.cycles
+        assert merged.total_counters().ialu_access == 1200
+        assert merged.labels[None].instructions == 1200
+
+    def test_merged_is_nondestructive(self):
+        cpu = MipsyProcessor(SystemConfig.table1())
+        first = cpu.run(_alus(500))
+        before = first.instructions
+        first.merged(first)
+        assert first.instructions == before
+
+    def test_merge_distinct_labels(self):
+        a = RunStats(cycles=10, instructions=5)
+        a.label("utlb").cycles = 10.0
+        b = RunStats(cycles=20, instructions=9)
+        b.label("read").cycles = 20.0
+        merged = a.merged(b)
+        assert set(merged.labels) == {"utlb", "read"}
+        assert merged.label("utlb").cycles == 10.0
+        assert merged.label("read").cycles == 20.0

@@ -1,0 +1,206 @@
+"""Micro-architecture tests for the MXS timing model.
+
+Hand-built instruction sequences isolate one structural constraint at a
+time: commit bandwidth, window occupancy, LSQ occupancy, functional-
+unit contention, fetch-group breaks, serializing instructions, and
+load-use latency.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro.config import CoreConfig, SystemConfig
+from repro.cpu import MXSProcessor
+from repro.isa import Instruction, OpClass
+from repro.mem import KSEG_BASE
+
+
+def _config(**core_overrides) -> SystemConfig:
+    base = SystemConfig.table1()
+    if core_overrides:
+        return dataclasses.replace(
+            base, core=dataclasses.replace(base.core, **core_overrides))
+    return base
+
+
+def _alus(count, pc=KSEG_BASE, independent=True):
+    for i in range(count):
+        srcs = (0, 0) if independent else (8,)
+        yield Instruction(pc=pc + 4 * (i % 64), op=OpClass.IALU,
+                          dest=8 + (i % 8 if independent else 0), srcs=srcs)
+
+
+def _ipc(config, stream):
+    cpu = MXSProcessor(config)
+    stats = cpu.run(stream)
+    return stats.ipc
+
+
+class TestIssueAndCommitBandwidth:
+    def test_int_alu_count_caps_throughput(self):
+        two = _ipc(_config(int_alus=2), _alus(6000))
+        four = _ipc(_config(int_alus=4), _alus(6000))
+        assert two <= 2.05
+        assert four > two * 1.3
+
+    def test_commit_width_caps_throughput(self):
+        narrow = _ipc(_config(commit_width=1, int_alus=4, issue_width=8,
+                              fetch_width=8, decode_width=8), _alus(6000))
+        assert narrow <= 1.05
+
+    def test_issue_width_caps_throughput(self):
+        narrow = _ipc(_config(issue_width=1, int_alus=4), _alus(6000))
+        assert narrow <= 1.05
+
+
+class TestWindowAndLSQ:
+    def test_small_window_hurts_latency_tolerance(self):
+        """A long-latency op followed by independent work: a big window
+        hides the latency, a tiny one cannot."""
+
+        def workload():
+            for i in range(800):
+                yield Instruction(pc=KSEG_BASE + 4 * (i % 8) * 4,
+                                  op=OpClass.IMUL, dest=30, srcs=(0, 0))
+                for j in range(15):
+                    yield Instruction(pc=KSEG_BASE + 4 * (64 + j),
+                                      op=OpClass.IALU, dest=8 + j % 8,
+                                      srcs=(0, 0))
+
+        big = _ipc(_config(window_size=64), workload())
+        tiny = _ipc(_config(window_size=4), workload())
+        assert big > tiny
+
+    def test_lsq_size_limits_memory_parallelism(self):
+        def loads():
+            for i in range(4000):
+                yield Instruction(pc=KSEG_BASE + 4 * (i % 32),
+                                  op=OpClass.LOAD, dest=8 + i % 8, srcs=(0,),
+                                  address=KSEG_BASE + 0x100000 + (i % 64) * 8,
+                                  size=8)
+
+        large = _ipc(_config(lsq_size=32), loads())
+        small = _ipc(_config(lsq_size=2), loads())
+        assert large >= small
+
+
+class TestFetchBehaviour:
+    def test_taken_branches_break_fetch_groups(self):
+        """A taken branch every 2 instructions halves effective fetch."""
+
+        def branchy(taken):
+            for i in range(6000):
+                yield Instruction(pc=KSEG_BASE, op=OpClass.IALU,
+                                  dest=8, srcs=(0, 0))
+                yield Instruction(pc=KSEG_BASE + 4, op=OpClass.BRANCH,
+                                  srcs=(0,), target=KSEG_BASE,
+                                  taken=taken and i != 5999)
+
+        # Wide back end so the front end is the bottleneck.
+        wide = dict(int_alus=4, issue_width=8, decode_width=8, commit_width=8)
+        with_taken = _ipc(_config(**wide), branchy(True))
+        without = _ipc(_config(**wide), branchy(False))
+        assert without > with_taken * 1.3
+
+    def test_syscall_serializes(self):
+        def with_syscalls():
+            for i in range(2000):
+                yield Instruction(pc=KSEG_BASE + 4 * (i % 16), op=OpClass.IALU,
+                                  dest=8, srcs=(0, 0))
+                if i % 4 == 3:
+                    yield Instruction(pc=KSEG_BASE + 256, op=OpClass.SYSCALL)
+
+        plain = _ipc(_config(), _alus(2500))
+        serialized = _ipc(_config(), with_syscalls())
+        assert serialized < plain * 0.6
+
+    def test_wrong_path_fetches_counted_on_mispredict(self):
+        def alternating():
+            for i in range(4000):
+                yield Instruction(pc=KSEG_BASE + 64, op=OpClass.BRANCH,
+                                  srcs=(0,), target=KSEG_BASE,
+                                  taken=(i % 2 == 0))
+                yield Instruction(pc=KSEG_BASE, op=OpClass.IALU,
+                                  dest=8, srcs=(0, 0))
+
+        cpu = MXSProcessor(_config())
+        stats = cpu.run(alternating())
+        totals = stats.total_counters()
+        # Heavy misprediction: many more I-fetches than instructions.
+        assert stats.branch.accuracy < 0.75
+        assert totals.l1i_access > stats.instructions * 1.2
+
+
+class TestLatencies:
+    def test_load_use_latency_exceeds_alu(self):
+        def chain(op):
+            for i in range(3000):
+                if op is OpClass.LOAD:
+                    yield Instruction(pc=KSEG_BASE + 4 * (i % 16), op=op,
+                                      dest=8, srcs=(8,),
+                                      address=KSEG_BASE + 0x4000, size=8)
+                else:
+                    yield Instruction(pc=KSEG_BASE + 4 * (i % 16), op=op,
+                                      dest=8, srcs=(8,))
+
+        alu_chain = _ipc(_config(), chain(OpClass.IALU))
+        load_chain = _ipc(_config(), chain(OpClass.LOAD))
+        assert load_chain < alu_chain
+
+    def test_fp_ops_slower_than_int(self):
+        def chain(op):
+            for i in range(3000):
+                yield Instruction(pc=KSEG_BASE + 4 * (i % 16), op=op,
+                                  dest=70, srcs=(70,))
+
+        assert _ipc(_config(), chain(OpClass.FMUL)) < _ipc(
+            _config(), chain(OpClass.IALU))
+
+    def test_imul_unit_is_singular(self):
+        def muls():
+            for i in range(3000):
+                yield Instruction(pc=KSEG_BASE + 4 * (i % 16), op=OpClass.IMUL,
+                                  dest=8 + i % 8, srcs=(0, 0))
+
+        assert _ipc(_config(), muls()) <= 1.05
+
+
+class TestTrapMechanics:
+    def test_nested_trap_is_an_error(self):
+        """Kernel-space (KSEG) code must never TLB-miss; a trap handler
+        that itself faults indicates a broken address layout."""
+        from repro.cpu.interfaces import InlineRefillClient
+        from repro.isa import Instruction as I
+
+        class BadClient(InlineRefillClient):
+            def utlb_handler(self, faulting_address):
+                # Handler living in *user* space: its own fetch faults.
+                return [I(pc=0x0050_0000, op=OpClass.IALU, dest=8,
+                          service="utlb")]
+
+        cpu = MXSProcessor(SystemConfig.table1(), trap_client=BadClient())
+        stream = [I(pc=0x0040_0000, op=OpClass.IALU, dest=8)]
+        with pytest.raises(RuntimeError, match="nested TLB miss"):
+            cpu.run(iter(stream))
+
+    def test_trap_counts_match_kernel_invocations(self):
+        from repro.kernel import Kernel
+        from repro.mem import MemoryHierarchy
+        from repro.stats.counters import AccessCounters
+
+        config = SystemConfig.table1()
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        kernel = Kernel(config, hierarchy)
+        cpu = MXSProcessor(config, hierarchy, trap_client=kernel)
+
+        def touch_pages(count):
+            for page in range(count):
+                yield Instruction(pc=0x0040_0000, op=OpClass.LOAD, dest=8,
+                                  srcs=(0,), address=0x1000_0000 + page * 4096,
+                                  size=8)
+
+        stats = cpu.run(touch_pages(50))
+        # 1 instruction-page miss + 50 data-page misses.
+        assert stats.traps == 51
+        assert kernel.invocations["utlb"] == 51

@@ -1,0 +1,92 @@
+"""Tests for the paper-data module and the text-report generator."""
+
+import pytest
+
+from repro import SoftWatt
+from repro.core.textreport import render_run, render_suite
+from repro.workloads import BENCHMARK_NAMES
+from repro.workloads import paper_data
+
+
+@pytest.fixture(scope="module")
+def softwatt():
+    return SoftWatt(window_instructions=10_000, seed=1)
+
+
+@pytest.fixture(scope="module")
+def result(softwatt):
+    return softwatt.run("jess", disk=1)
+
+
+class TestPaperData:
+    def test_every_benchmark_covered(self):
+        for table in (paper_data.TABLE2, paper_data.TABLE3,
+                      paper_data.TABLE4_SHARES):
+            assert set(table) == set(BENCHMARK_NAMES)
+
+    def test_table2_rows_sum_to_100(self):
+        for name, row in paper_data.TABLE2.items():
+            cycles = (row.user_cycles + row.kernel_cycles + row.sync_cycles
+                      + row.idle_cycles)
+            energy = (row.user_energy + row.kernel_energy + row.sync_energy
+                      + row.idle_energy)
+            assert cycles == pytest.approx(100.0, abs=0.5), name
+            assert energy == pytest.approx(100.0, abs=0.5), name
+
+    def test_table4_utlb_dominates_everywhere(self):
+        for name, shares in paper_data.TABLE4_SHARES.items():
+            utlb_cycles, utlb_energy = shares["utlb"]
+            assert utlb_cycles > 60.0, name
+            assert utlb_energy < utlb_cycles, name
+
+    def test_table5_internal_steadier_than_external(self):
+        internal = max(paper_data.TABLE5[s][1]
+                       for s in ("utlb", "demand_zero", "cacheflush"))
+        external = min(paper_data.TABLE5[s][1]
+                       for s in ("read", "write", "open"))
+        assert internal < external
+
+    def test_figure_shares_are_shares(self):
+        for shares in (paper_data.FIGURE5_SHARES, paper_data.FIGURE7_SHARES):
+            assert 95.0 <= sum(shares.values()) <= 115.0
+
+    def test_validation_anchors(self):
+        assert paper_data.PAPER_SOFTWATT_MAX_W < paper_data.R10000_DATASHEET_MAX_W
+
+
+class TestRenderRun:
+    def test_contains_all_sections(self, result):
+        text = render_run(result)
+        for section in ("Mode breakdown", "Cache references", "Kernel services",
+                        "Power budget", "Power over time"):
+            assert section in text
+
+    def test_contains_paper_references(self, result):
+        text = render_run(result)
+        # jess's paper Table 2 user cycle share appears as a reference.
+        assert "63.7" in text
+        assert "utlb" in text
+
+    def test_deterministic(self, result):
+        assert render_run(result) == render_run(result)
+
+    def test_custom_benchmark_renders_without_paper_data(self, softwatt):
+        import dataclasses
+
+        from repro.workloads import benchmark
+
+        spec = dataclasses.replace(benchmark("db"), name="db-variant")
+        text = render_run(softwatt.run(spec, disk=2))
+        assert "db-variant" in text
+        assert "Mode breakdown" in text
+
+
+class TestRenderSuite:
+    def test_summary_covers_all(self, softwatt):
+        results = {name: softwatt.run(name, disk=2)
+                   for name in ("jess", "db")}
+        text = render_suite(results)
+        assert "jess" in text
+        assert "db" in text
+        assert "Suite-average power budget" in text
+        assert "disk" in text

@@ -1,0 +1,209 @@
+"""Tests for the SPEC JVM98 workload definitions."""
+
+import dataclasses
+
+import pytest
+
+from repro.isa import CodeSignature
+from repro.workloads import (
+    BENCHMARK_NAMES,
+    BenchmarkSpec,
+    DiskEvent,
+    JVMPhases,
+    PhaseSpec,
+    all_benchmarks,
+    benchmark,
+    gc_signature,
+    startup_signature,
+)
+from repro.workloads.specjvm98 import (
+    PAPER_RUN_CYCLES,
+    PAPER_TABLE4_INVOCATIONS,
+)
+
+
+class TestRegistry:
+    def test_six_benchmarks_in_paper_order(self):
+        assert BENCHMARK_NAMES == ("compress", "jess", "db", "javac", "mtrt", "jack")
+        assert [spec.name for spec in all_benchmarks()] == list(BENCHMARK_NAMES)
+
+    def test_mpegaudio_excluded(self):
+        with pytest.raises(KeyError):
+            benchmark("mpegaudio")
+
+    def test_lookup_by_name(self):
+        assert benchmark("jess").name == "jess"
+
+
+class TestSpecs:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_phase_fractions_sum_to_one(self, name):
+        spec = benchmark(name)
+        total = sum(p.compute_fraction for p in spec.phases.phases)
+        assert total == pytest.approx(1.0)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_three_jvm_phases(self, name):
+        assert benchmark(name).phases.names == ("startup", "steady", "gc")
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_startup_is_cold(self, name):
+        spec = benchmark(name)
+        assert spec.phases.phase("startup").cold_caches
+        assert not spec.phases.phase("steady").cold_caches
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_disk_events_ordered_and_in_range(self, name):
+        spec = benchmark(name)
+        times = [e.progress_s for e in spec.disk_events]
+        assert times == sorted(times)
+        assert all(0 <= t < spec.compute_duration_s for t in times)
+
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_startup_burst_exists(self, name):
+        """Every benchmark loads classes from disk at the start
+        (the Figures 3/4 initial idle period)."""
+        spec = benchmark(name)
+        early = [e for e in spec.disk_events if e.progress_s < 1.0]
+        assert len(early) >= 5
+
+    def test_mtrt_is_the_fp_benchmark(self):
+        assert benchmark("mtrt").steady_signature.fp_fraction > 0.1
+        assert benchmark("compress").steady_signature.fp_fraction == 0.0
+
+    def test_compress_has_least_kernel_activity(self):
+        """Table 2: compress has by far the lowest kernel share, so its
+        scheduled-service densities are the lowest."""
+        def total_density(name):
+            return sum(benchmark(name).service_densities().values())
+
+        compress = total_density("compress")
+        for other in ("jess", "db", "javac", "jack"):
+            assert total_density(other) > compress
+
+
+class TestSection4GapStructure:
+    """The spin-down narrative of Figure 9 is encoded in the specs."""
+
+    @staticmethod
+    def _steady_gaps(spec):
+        times = [e.progress_s for e in spec.disk_events]
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        tail = spec.compute_duration_s - times[-1]
+        return gaps + [tail]
+
+    def test_jess_and_db_never_idle_long_enough(self):
+        for name in ("jess", "db"):
+            assert max(self._steady_gaps(benchmark(name))) < 2.0
+
+    def test_compress_gaps_defeat_two_second_threshold(self):
+        gaps = self._steady_gaps(benchmark("compress"))
+        bad = [g for g in gaps if 2.0 < g < 4.0]
+        assert len(bad) >= 2  # multiple spin-down/spin-up pairs at 2 s
+
+    def test_javac_gaps_defeat_two_second_threshold_only(self):
+        gaps = self._steady_gaps(benchmark("javac"))
+        assert any(2.0 < g < 4.0 for g in gaps)
+        assert not any(g > 4.0 for g in gaps)
+
+    def test_jack_has_one_gap_eliminated_at_four_seconds(self):
+        gaps = self._steady_gaps(benchmark("jack"))
+        between = [g for g in gaps if 2.0 < g < 4.0]
+        beyond = [g for g in gaps if g > 4.0]
+        assert len(between) >= 1
+        assert len(beyond) >= 1
+
+    def test_mtrt_gaps_exceed_both_thresholds_with_margin(self):
+        """Both thresholds spin down and fully reach STANDBY before the
+        next access: identical idle cycles, higher energy at 4 s."""
+        gaps = self._steady_gaps(benchmark("mtrt"))
+        long = [g for g in gaps if g > 9.0]
+        assert len(long) >= 2
+
+
+class TestServiceDensities:
+    @pytest.mark.parametrize("name", BENCHMARK_NAMES)
+    def test_densities_derived_from_table4(self, name):
+        spec = benchmark(name)
+        densities = spec.service_densities()
+        assert "utlb" not in densities  # emergent, never scheduled
+        table = PAPER_TABLE4_INVOCATIONS[name]
+        for service, density in densities.items():
+            expected = table[service] / PAPER_RUN_CYCLES[name]
+            assert density == pytest.approx(expected)
+
+    def test_bsd_only_in_jess_and_jack(self):
+        for name in BENCHMARK_NAMES:
+            has_bsd = "BSD" in benchmark(name).service_densities()
+            assert has_bsd == (name in ("jess", "jack"))
+
+    def test_du_poll_only_in_db(self):
+        for name in BENCHMARK_NAMES:
+            has = "du_poll" in benchmark(name).service_densities()
+            assert has == (name == "db")
+
+    def test_xstat_only_in_javac(self):
+        for name in BENCHMARK_NAMES:
+            has = "xstat" in benchmark(name).service_densities()
+            assert has == (name == "javac")
+
+
+class TestDerivedSignatures:
+    def test_gc_signature_degrades_locality(self):
+        base = benchmark("jess").steady_signature
+        gc = gc_signature(base)
+        assert gc.temporal_locality < base.temporal_locality
+        assert gc.load_fraction > base.load_fraction
+        assert gc.dependency_distance < base.dependency_distance
+
+    def test_startup_signature_expands_code(self):
+        base = benchmark("jess").steady_signature
+        startup = startup_signature(base)
+        assert startup.code_footprint_bytes >= base.code_footprint_bytes
+        assert startup.hot_code_fraction < base.hot_code_fraction
+
+
+class TestValidation:
+    def test_disk_event_validation(self):
+        with pytest.raises(ValueError):
+            DiskEvent(progress_s=-1.0, nbytes=100)
+        with pytest.raises(ValueError):
+            DiskEvent(progress_s=0.0, nbytes=0)
+
+    def test_spec_rejects_unordered_events(self):
+        spec = benchmark("jess")
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                spec,
+                disk_events=(DiskEvent(2.0, 100), DiskEvent(1.0, 100)),
+            )
+
+    def test_spec_rejects_events_beyond_duration(self):
+        spec = benchmark("jess")
+        with pytest.raises(ValueError):
+            dataclasses.replace(
+                spec,
+                disk_events=(DiskEvent(spec.compute_duration_s + 1.0, 100),),
+            )
+
+    def test_phases_reject_bad_fractions(self):
+        sig = CodeSignature(name="x")
+        with pytest.raises(ValueError):
+            JVMPhases(phases=(
+                PhaseSpec(name="a", compute_fraction=0.5, signature=sig),
+                PhaseSpec(name="b", compute_fraction=0.3, signature=sig),
+            ))
+
+    def test_phases_reject_duplicate_names(self):
+        sig = CodeSignature(name="x")
+        with pytest.raises(ValueError):
+            JVMPhases(phases=(
+                PhaseSpec(name="a", compute_fraction=0.5, signature=sig),
+                PhaseSpec(name="a", compute_fraction=0.5, signature=sig),
+            ))
+
+    def test_phase_lookup(self):
+        spec = benchmark("db")
+        assert spec.phases.phase("gc").name == "gc"
+        with pytest.raises(KeyError):
+            spec.phases.phase("missing")
