@@ -7,7 +7,14 @@ representative slice of the computation with pytest-benchmark.
 
 Detailed-window size is controlled by ``REPRO_BENCH_WINDOW``
 (instructions per benchmark window; default 40000 — larger windows give
-steadier numbers at higher cost).
+steadier numbers at higher cost).  Note the window is part of the
+persistent profile-cache key, so changing it re-profiles rather than
+reusing cached entries.
+
+Every benchmark session shares one persistent profile-cache directory:
+``REPRO_CACHE_DIR`` if the caller exported it (profiles then survive
+across sessions), otherwise a per-session temporary directory (profiles
+shared across the bench files of this run only).
 """
 
 from __future__ import annotations
@@ -24,15 +31,29 @@ SEED = int(os.environ.get("REPRO_BENCH_SEED", "1"))
 
 
 @pytest.fixture(scope="session")
-def sw() -> SoftWatt:
-    """The shared MXS SoftWatt instance (profiles cached across benches)."""
-    return SoftWatt(window_instructions=WINDOW, seed=SEED)
+def profile_cache_dir(tmp_path_factory) -> str:
+    """One profile-cache directory for the whole benchmark session."""
+    directory = os.environ.get("REPRO_CACHE_DIR")
+    if not directory:
+        directory = str(tmp_path_factory.mktemp("profile-cache"))
+    # Export it so SoftWatt instances constructed inside individual
+    # benches (sweeps, ablations) share the same cache.
+    os.environ["REPRO_CACHE_DIR"] = directory
+    return directory
 
 
 @pytest.fixture(scope="session")
-def sw_mipsy() -> SoftWatt:
+def sw(profile_cache_dir) -> SoftWatt:
+    """The shared MXS SoftWatt instance (profiles cached across benches)."""
+    return SoftWatt(window_instructions=WINDOW, seed=SEED,
+                    cache_dir=profile_cache_dir)
+
+
+@pytest.fixture(scope="session")
+def sw_mipsy(profile_cache_dir) -> SoftWatt:
     """A Mipsy-model instance (memory-subsystem statistics, Figure 3)."""
-    return SoftWatt(cpu_model="mipsy", window_instructions=WINDOW // 2, seed=SEED)
+    return SoftWatt(cpu_model="mipsy", window_instructions=WINDOW // 2, seed=SEED,
+                    cache_dir=profile_cache_dir)
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,174 @@
+#!/usr/bin/env python
+"""Benchmark the profiling pipeline and emit ``BENCH_profiling.json``.
+
+Times the three layers the performance work targets:
+
+* the per-instruction hot loop (one cold ``profile_benchmark`` on a
+  fresh profiler, MXS and Mipsy),
+* a cold ``run_suite`` serially and with a process-pool fan-out
+  (verifying the fan-out is bit-identical to the serial run), and
+* a warm-cache ``run_suite`` in a fresh instance (verifying the
+  persistent cache skips detailed simulation entirely).
+
+``--quick`` shrinks the window and repeats for CI smoke runs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.profiles import Profiler  # noqa: E402
+from repro.core.softwatt import SoftWatt  # noqa: E402
+from repro.workloads.specjvm98 import benchmark  # noqa: E402
+
+SEED_BASELINE = {
+    "commit": "1c2e9c5",
+    "window_instructions": 20_000,
+    "seed": 1,
+    "suite_serial_cold_s": 11.895,
+}
+"""Cold serial ``run_suite`` wall time measured at the growth-seed
+commit (pre-optimization) on the reference machine, for the speedup
+figure below.  Only comparable when run with the same window and seed
+on similar hardware."""
+
+
+def _time(fn, repeats: int) -> dict:
+    times = []
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        times.append(time.perf_counter() - start)
+    return {"best_s": min(times), "times_s": times, "_result": result}
+
+
+def _suite_fingerprint(results) -> list:
+    return [
+        (name, r.total_energy_j, r.disk_energy_j, r.timeline.duration_s)
+        for name, r in sorted(results.items())
+    ]
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--window", type=int, default=20_000)
+    parser.add_argument("--seed", type=int, default=1)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repeats for the hot-loop timings")
+    parser.add_argument("--out", default="BENCH_profiling.json")
+    parser.add_argument("--quick", action="store_true",
+                        help="small window, single repeats (CI smoke)")
+    args = parser.parse_args()
+    if args.quick:
+        args.window = min(args.window, 6000)
+        args.repeats = 1
+    args.repeats = max(1, args.repeats)
+
+    window, seed = args.window, args.seed
+    report: dict = {
+        "metadata": {
+            "python": platform.python_version(),
+            "platform": platform.platform(),
+            "cpu_count": os.cpu_count(),
+            "window_instructions": window,
+            "seed": seed,
+            "workers": args.workers,
+            "quick": args.quick,
+        },
+        "seed_baseline": SEED_BASELINE,
+    }
+
+    # Layer 3: the per-instruction hot loop, cold, per CPU model.
+    spec = benchmark("jess")
+    for model in ("mxs", "mipsy"):
+        timing = _time(
+            lambda m=model: Profiler(
+                cpu_model=m, window_instructions=window, seed=seed
+            ).profile_benchmark(spec),
+            args.repeats,
+        )
+        timing.pop("_result")
+        report[f"hot_loop_{model}"] = timing
+        print(f"hot loop ({model}, jess, window {window}): "
+              f"{timing['best_s']:.3f} s best of {args.repeats}")
+
+    # Layer 1: cold suite, serial vs process-pool fan-out.
+    serial = _time(
+        lambda: SoftWatt(
+            window_instructions=window, seed=seed, use_cache=False
+        ).run_suite(workers=1),
+        1,
+    )
+    fingerprint = _suite_fingerprint(serial.pop("_result"))
+    report["suite_serial_cold"] = serial
+    print(f"suite cold serial: {serial['best_s']:.3f} s")
+
+    parallel = _time(
+        lambda: SoftWatt(
+            window_instructions=window, seed=seed, use_cache=False
+        ).run_suite(workers=args.workers),
+        1,
+    )
+    identical = _suite_fingerprint(parallel.pop("_result")) == fingerprint
+    parallel["bit_identical_to_serial"] = identical
+    report["suite_parallel_cold"] = parallel
+    print(f"suite cold workers={args.workers}: {parallel['best_s']:.3f} s "
+          f"(bit-identical to serial: {identical})")
+    if not identical:
+        print("ERROR: parallel suite diverged from serial", file=sys.stderr)
+        return 1
+
+    # Layer 2: warm persistent cache in a fresh instance.
+    cache_dir = tempfile.mkdtemp(prefix="repro-bench-cache-")
+    try:
+        SoftWatt(
+            window_instructions=window, seed=seed, cache_dir=cache_dir
+        ).run_suite(workers=1)
+        warm_sw = SoftWatt(
+            window_instructions=window, seed=seed, cache_dir=cache_dir
+        )
+        warm = _time(lambda: warm_sw.run_suite(workers=1), 1)
+        identical = _suite_fingerprint(warm.pop("_result")) == fingerprint
+        warm["bit_identical_to_serial"] = identical
+        warm["detailed_runs"] = warm_sw.profiler.detailed_runs
+        report["suite_warm_cache"] = warm
+        print(f"suite warm cache: {warm['best_s']:.3f} s "
+              f"(detailed simulations: {warm_sw.profiler.detailed_runs}, "
+              f"bit-identical: {identical})")
+    finally:
+        shutil.rmtree(cache_dir, ignore_errors=True)
+
+    if (
+        window == SEED_BASELINE["window_instructions"]
+        and seed == SEED_BASELINE["seed"]
+    ):
+        baseline = SEED_BASELINE["suite_serial_cold_s"]
+        best_cold = min(serial["best_s"], parallel["best_s"])
+        report["speedup_vs_seed_serial"] = round(baseline / serial["best_s"], 2)
+        report["speedup_parallel_vs_seed_serial"] = round(
+            baseline / parallel["best_s"], 2
+        )
+        report["speedup_best_cold_vs_seed_serial"] = round(baseline / best_cold, 2)
+        print(f"cold-suite speedup vs seed commit (serial baseline "
+              f"{baseline} s): serial {baseline / serial['best_s']:.2f}x, "
+              f"workers={args.workers} {baseline / parallel['best_s']:.2f}x")
+
+    with open(args.out, "w") as handle:
+        json.dump(report, handle, indent=2)
+    print(f"report written to {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

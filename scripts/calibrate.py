@@ -29,10 +29,14 @@ def main() -> None:
     parser.add_argument("--window", type=int, default=40_000)
     parser.add_argument("--benchmarks", nargs="*", default=list(BENCHMARK_NAMES))
     parser.add_argument("--cpu", default="mxs")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for the profiling stage")
     args = parser.parse_args()
 
-    sw = SoftWatt(cpu_model=args.cpu, window_instructions=args.window, seed=1)
+    sw = SoftWatt(cpu_model=args.cpu, window_instructions=args.window, seed=1,
+                  workers=args.workers)
     print(f"R10000 max power: {sw.validate_max_power():.2f} W (paper: 25.3)")
+    sw.profile_many(tuple(args.benchmarks))
     budgets = []
     for name in args.benchmarks:
         result = sw.run(name, disk=1)

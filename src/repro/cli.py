@@ -33,11 +33,21 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--seed", type=int, default=1)
     parser.add_argument("--checkpoint", metavar="FILE",
                         help="load profiles from / save profiles to FILE")
+    parser.add_argument("--workers", type=int, default=1,
+                        help="processes for the profiling stage (default: 1)")
+    parser.add_argument("--cache-dir", metavar="DIR",
+                        help="persistent profile cache directory "
+                             "(default: $REPRO_CACHE_DIR, or disabled)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="ignore the persistent profile cache")
 
 
 def _make_softwatt(args: argparse.Namespace) -> SoftWatt:
     softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
-                        seed=args.seed)
+                        seed=args.seed,
+                        workers=getattr(args, "workers", 1),
+                        cache_dir=getattr(args, "cache_dir", None),
+                        use_cache=not getattr(args, "no_cache", False))
     if args.checkpoint:
         try:
             softwatt.load_checkpoint(args.checkpoint)
@@ -109,6 +119,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_suite(args: argparse.Namespace) -> int:
     softwatt = _make_softwatt(args)
+    softwatt.profile_many(BENCHMARK_NAMES)
     print(f"{'benchmark':10s} {'dur s':>6s} {'energy J':>9s} {'disk J':>7s} "
           f"{'user%':>6s} {'kern%':>6s} {'idle%':>6s} {'disk%':>6s}")
     for name in BENCHMARK_NAMES:
@@ -213,11 +224,12 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
-                        seed=args.seed)
-    names = args.benchmarks or list(BENCHMARK_NAMES)
-    for name in names:
-        print(f"profiling {name}...")
-        softwatt.profile(name)
+                        seed=args.seed, workers=args.workers,
+                        cache_dir=args.cache_dir,
+                        use_cache=not args.no_cache)
+    names = tuple(args.benchmarks or BENCHMARK_NAMES)
+    print(f"profiling {', '.join(names)}...")
+    softwatt.profile_many(names)
     softwatt._cached_service_profiles()
     softwatt.save_checkpoint(args.out)
     print(f"checkpoint written to {args.out}")
@@ -291,6 +303,9 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--cpu", choices=("mxs", "mipsy"), default="mxs")
     p.add_argument("--window", type=int, default=40_000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache-dir", metavar="DIR")
+    p.add_argument("--no-cache", action="store_true")
     p.set_defaults(func=cmd_checkpoint)
 
     return parser

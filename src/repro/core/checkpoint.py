@@ -12,12 +12,22 @@ re-simulating.
 Format: a single JSON document, versioned; counters are stored as plain
 dicts, per-label stats keyed by label (``"__user__"`` stands for the
 ``None`` user label, which JSON cannot key).
+
+On top of the explicit checkpoint files, :class:`ProfileCache` provides
+a *content-addressed* on-disk cache: each profile is stored under a key
+that hashes everything the result depends on (benchmark spec, system
+configuration, CPU model, window parameters, seed, and a model-version
+stamp), so :class:`~repro.core.softwatt.SoftWatt` can consult it
+transparently — a stale or mismatched entry simply misses and the
+profile is re-simulated.
 """
 
 from __future__ import annotations
 
 import dataclasses
+import hashlib
 import json
+import os
 import pathlib
 
 from repro.core.profiles import (
@@ -34,6 +44,17 @@ from repro.workloads.specjvm98 import BenchmarkSpec, benchmark
 
 CHECKPOINT_VERSION = 1
 _USER_KEY = "__user__"
+
+MODEL_VERSION = 1
+"""Stamp of the simulator semantics.  Bump whenever a change alters
+simulation *results* (CPU timing, cache behaviour, workload generation,
+power weights): every existing cache entry then misses and is evicted,
+forcing a clean re-profile instead of serving stale numbers."""
+
+CACHE_DIR_ENV = "REPRO_CACHE_DIR"
+"""Environment variable naming the persistent profile-cache directory.
+The cache is disabled when it is unset (no surprise writes outside the
+working tree)."""
 
 
 class CheckpointError(RuntimeError):
@@ -133,6 +154,276 @@ def _decode_service(data: dict) -> ServiceInvocationProfile:
     )
 
 
+def encode_profile(profile: BenchmarkProfile) -> dict:
+    """Encode one benchmark profile as a JSON-serialisable dict."""
+    return {
+        "spec": profile.spec.name,
+        "cpu_model": profile.cpu_model,
+        "phases": {
+            phase_name: _encode_phase(phase)
+            for phase_name, phase in profile.phases.items()
+        },
+        "idle": _encode_run_stats(profile.idle.stats),
+    }
+
+
+def decode_profile(
+    payload: dict, *, spec: BenchmarkSpec, config: SystemConfig
+) -> BenchmarkProfile:
+    """Rebuild a benchmark profile from :func:`encode_profile` output.
+
+    ``spec`` and ``config`` are attached as the profile's identity; the
+    caller is responsible for ensuring they match the payload (the
+    profile cache guarantees this through its content-addressed key).
+    """
+    phases = {}
+    for phase_name, phase_payload in payload["phases"].items():
+        phases[phase_name] = PhaseProfile(
+            phase=spec.phases.phase(phase_name),
+            chunks=[_decode_run_stats(chunk) for chunk in phase_payload["chunks"]],
+            invocations=phase_payload["invocations"],
+        )
+    return BenchmarkProfile(
+        spec=spec,
+        cpu_model=payload["cpu_model"],
+        phases=phases,
+        idle=IdleProfile(stats=_decode_run_stats(payload["idle"])),
+        config=config,
+    )
+
+
+# ---------------------------------------------------------------------------
+# Content-addressed cache keys
+# ---------------------------------------------------------------------------
+
+def _stable_hash(payload: dict) -> str:
+    """SHA-256 of a canonical JSON encoding of ``payload``."""
+    text = json.dumps(payload, sort_keys=True, default=str)
+    return hashlib.sha256(text.encode()).hexdigest()
+
+
+def profile_cache_key(
+    spec: BenchmarkSpec,
+    config: SystemConfig,
+    *,
+    cpu_model: str,
+    window_instructions: int,
+    startup_chunks: int,
+    steady_chunks: int,
+    seed: int,
+) -> str:
+    """Cache key for a benchmark profile.
+
+    Hashes every input the detailed simulation depends on, plus the
+    :data:`MODEL_VERSION` stamp — any difference in spec content (not
+    just name), system configuration, profiling window, or simulator
+    semantics produces a different key.
+    """
+    return _stable_hash(
+        {
+            "kind": "benchmark",
+            "model_version": MODEL_VERSION,
+            "spec": dataclasses.asdict(spec),
+            "config": dataclasses.asdict(config),
+            "cpu_model": cpu_model,
+            "window_instructions": window_instructions,
+            "startup_chunks": startup_chunks,
+            "steady_chunks": steady_chunks,
+            "seed": seed,
+        }
+    )
+
+
+def service_cache_key(
+    service: str,
+    config: SystemConfig,
+    *,
+    cpu_model: str,
+    invocations: int,
+    warmup: int,
+    seed: int,
+) -> str:
+    """Cache key for a per-invocation kernel-service profile."""
+    return _stable_hash(
+        {
+            "kind": "service",
+            "model_version": MODEL_VERSION,
+            "service": service,
+            "config": dataclasses.asdict(config),
+            "cpu_model": cpu_model,
+            "invocations": invocations,
+            "warmup": warmup,
+            "seed": seed,
+        }
+    )
+
+
+# ---------------------------------------------------------------------------
+# Persistent profile cache
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass
+class CacheStats:
+    """Hit/miss accounting for one :class:`ProfileCache` instance."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+    evictions: int = 0
+
+
+class ProfileCache:
+    """Content-addressed on-disk cache of profiling results.
+
+    One JSON file per entry, named by the cache key.  Entries whose
+    model-version stamp no longer matches, or that cannot be decoded,
+    are evicted on contact and reported as misses — the caller then
+    re-profiles cleanly.  Writes are atomic (tmp file + rename) so a
+    crashed or concurrent writer can never leave a torn entry.
+    """
+
+    def __init__(self, directory: str | pathlib.Path) -> None:
+        self.directory = pathlib.Path(directory)
+        self.stats = CacheStats()
+
+    @classmethod
+    def from_env(cls) -> "ProfileCache | None":
+        """The cache named by ``REPRO_CACHE_DIR``, or None if unset."""
+        directory = os.environ.get(CACHE_DIR_ENV)
+        if not directory:
+            return None
+        return cls(directory)
+
+    # -- internals ------------------------------------------------------
+
+    def _path(self, key: str) -> pathlib.Path:
+        return self.directory / f"{key}.json"
+
+    def _read(self, key: str, kind: str) -> dict | None:
+        path = self._path(key)
+        try:
+            document = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+            self._evict(path)
+            return None
+        if (
+            not isinstance(document, dict)
+            or document.get("model_version") != MODEL_VERSION
+            or document.get("kind") != kind
+        ):
+            self._evict(path)
+            return None
+        return document
+
+    def _evict(self, path: pathlib.Path) -> None:
+        self.stats.misses += 1
+        self.stats.evictions += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    def _write(self, key: str, document: dict) -> None:
+        try:
+            self.directory.mkdir(parents=True, exist_ok=True)
+            path = self._path(key)
+            tmp = path.with_name(f"{path.name}.tmp-{os.getpid()}")
+            tmp.write_text(json.dumps(document))
+            os.replace(tmp, path)
+        except OSError:
+            # A read-only or full cache directory must never break the
+            # simulation; the entry simply is not persisted.
+            return
+        self.stats.stores += 1
+
+    # -- benchmark profiles ---------------------------------------------
+
+    def load_profile(
+        self, key: str, *, spec: BenchmarkSpec, config: SystemConfig
+    ) -> BenchmarkProfile | None:
+        """The cached profile under ``key``, or None on any miss."""
+        document = self._read(key, "benchmark")
+        if document is None:
+            return None
+        try:
+            profile = decode_profile(document["profile"], spec=spec, config=config)
+        except (KeyError, TypeError, ValueError, CheckpointError):
+            self._evict(self._path(key))
+            return None
+        self.stats.hits += 1
+        return profile
+
+    def store_profile(self, key: str, profile: BenchmarkProfile) -> None:
+        """Persist ``profile`` under ``key``."""
+        self._write(
+            key,
+            {
+                "kind": "benchmark",
+                "model_version": MODEL_VERSION,
+                "profile": encode_profile(profile),
+            },
+        )
+
+    # -- service profiles -----------------------------------------------
+
+    def load_service(self, key: str) -> ServiceInvocationProfile | None:
+        """The cached service profile under ``key``, or None on any miss."""
+        document = self._read(key, "service")
+        if document is None:
+            return None
+        try:
+            profile = _decode_service(document["profile"])
+        except (KeyError, TypeError, ValueError, CheckpointError):
+            self._evict(self._path(key))
+            return None
+        self.stats.hits += 1
+        return profile
+
+    def store_service(self, key: str, profile: ServiceInvocationProfile) -> None:
+        """Persist ``profile`` under ``key``."""
+        self._write(
+            key,
+            {
+                "kind": "service",
+                "model_version": MODEL_VERSION,
+                "profile": _encode_service(profile),
+            },
+        )
+
+    # -- maintenance ----------------------------------------------------
+
+    def evict_stale(self) -> int:
+        """Delete every entry with a stale model version or torn JSON.
+
+        Returns the number of entries removed.  Entries written by a
+        *newer* model version are also removed — the stamp is an exact
+        match, not an ordering.
+        """
+        removed = 0
+        if not self.directory.is_dir():
+            return 0
+        for path in self.directory.glob("*.json"):
+            try:
+                document = json.loads(path.read_text())
+                stale = (
+                    not isinstance(document, dict)
+                    or document.get("model_version") != MODEL_VERSION
+                )
+            except (OSError, json.JSONDecodeError, UnicodeDecodeError):
+                stale = True
+            if stale:
+                try:
+                    path.unlink()
+                    removed += 1
+                    self.stats.evictions += 1
+                except OSError:
+                    pass
+        return removed
+
+
 # ---------------------------------------------------------------------------
 # Public API
 # ---------------------------------------------------------------------------
@@ -149,16 +440,7 @@ def save_checkpoint(
         "version": CHECKPOINT_VERSION,
         "cpu_model": cpu_model,
         "benchmarks": {
-            name: {
-                "spec": profile.spec.name,
-                "cpu_model": profile.cpu_model,
-                "phases": {
-                    phase_name: _encode_phase(phase)
-                    for phase_name, phase in profile.phases.items()
-                },
-                "idle": _encode_run_stats(profile.idle.stats),
-            }
-            for name, profile in profiles.items()
+            name: encode_profile(profile) for name, profile in profiles.items()
         },
         "services": {
             name: _encode_service(profile)
@@ -192,22 +474,7 @@ def load_checkpoint(
     profiles: dict[str, BenchmarkProfile] = {}
     for name, payload in document.get("benchmarks", {}).items():
         spec: BenchmarkSpec = benchmark(payload["spec"])
-        phases = {}
-        for phase_name, phase_payload in payload["phases"].items():
-            phases[phase_name] = PhaseProfile(
-                phase=spec.phases.phase(phase_name),
-                chunks=[
-                    _decode_run_stats(chunk) for chunk in phase_payload["chunks"]
-                ],
-                invocations=phase_payload["invocations"],
-            )
-        profiles[name] = BenchmarkProfile(
-            spec=spec,
-            cpu_model=payload["cpu_model"],
-            phases=phases,
-            idle=IdleProfile(stats=_decode_run_stats(payload["idle"])),
-            config=config,
-        )
+        profiles[name] = decode_profile(payload, spec=spec, config=config)
     services = {
         name: _decode_service(payload)
         for name, payload in document.get("services", {}).items()

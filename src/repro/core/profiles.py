@@ -169,6 +169,11 @@ class Profiler:
         self.startup_chunks = startup_chunks
         self.steady_chunks = steady_chunks
         self.seed = seed
+        self.detailed_runs = 0
+        """Detailed cycle-level simulations performed by this profiler
+        (benchmark windows + service characterisations).  Tests use this
+        to assert that a warm profile cache skips simulation entirely."""
+        self._idle_cache: IdleProfile | None = None
 
     # ------------------------------------------------------------------
     # Benchmark phases
@@ -176,6 +181,7 @@ class Profiler:
 
     def profile_benchmark(self, spec: BenchmarkSpec) -> BenchmarkProfile:
         """Measure every phase of ``spec`` sequentially (cold start)."""
+        self.detailed_runs += 1
         config = self.config
         counters = AccessCounters()
         hierarchy = MemoryHierarchy(config, counters)
@@ -237,15 +243,27 @@ class Profiler:
     # ------------------------------------------------------------------
 
     def profile_idle(self, iterations: int | None = None) -> IdleProfile:
-        """Measure the idle process (workload-independent, Section 3.3)."""
-        if iterations is None:
+        """Measure the idle process (workload-independent, Section 3.3).
+
+        The idle loop runs on a fresh machine state and depends only on
+        the profiler's configuration, so the default-length measurement
+        is performed once and shared by every benchmark profile — the
+        result is bit-identical to re-measuring it per benchmark.
+        """
+        default_window = iterations is None
+        if default_window:
+            if self._idle_cache is not None:
+                return self._idle_cache
             iterations = max(2000, self.window_instructions // 12)
         hierarchy = MemoryHierarchy(self.config, AccessCounters())
         cpu = make_cpu(self.cpu_model, self.config, hierarchy, None)
         # Warm pass: the idle loop's two cache lines and its code.
         cpu.run(idle_loop(64))
         stats = cpu.run(idle_loop(iterations))
-        return IdleProfile(stats=stats)
+        profile = IdleProfile(stats=stats)
+        if default_window:
+            self._idle_cache = profile
+        return profile
 
     # ------------------------------------------------------------------
     # Per-invocation service profiles
@@ -263,6 +281,7 @@ class Profiler:
         """Measure per-invocation cycles and energy for one service."""
         if invocations < 2:
             raise ValueError("need at least two invocations for a deviation")
+        self.detailed_runs += 1
         config = self.config
         hierarchy = MemoryHierarchy(config, AccessCounters())
         kernel = Kernel(config, hierarchy, seed=self.seed if seed is None else seed)

@@ -12,13 +12,26 @@ profiles, power budgets, and sampled time traces.
     33.8
 
 Profiles are cached per (benchmark, CPU model), so sweeping the four
-disk configurations re-uses the expensive detailed simulation.
+disk configurations re-uses the expensive detailed simulation.  Two
+optional accelerators sit on top:
+
+* a persistent content-addressed profile cache (enabled by pointing
+  ``REPRO_CACHE_DIR`` at a directory, or passing ``cache_dir=``) that
+  lets a second process skip detailed simulation entirely, and
+* a process-pool profiling fan-out (``workers=`` on the constructor or
+  on :meth:`run_suite` / :meth:`service_profiles`) that produces
+  bit-identical results to the serial path.
 """
 
 from __future__ import annotations
 
 from repro.config.diskcfg import DiskPowerPolicy, disk_configuration
 from repro.config.system import SystemConfig
+from repro.core.checkpoint import (
+    ProfileCache,
+    profile_cache_key,
+    service_cache_key,
+)
 from repro.core.profiles import (
     BenchmarkProfile,
     Profiler,
@@ -54,11 +67,15 @@ class SoftWatt:
         window_instructions: int = 60_000,
         sample_interval_s: float = 0.1,
         seed: int = 0,
+        workers: int = 1,
+        cache_dir=None,
+        use_cache: bool = True,
     ) -> None:
         self.config = config if config is not None else SystemConfig.table1()
         self.cpu_model = cpu_model
         self.sample_interval_s = sample_interval_s
         self.seed = seed
+        self.workers = workers
         self.profiler = Profiler(
             self.config,
             cpu_model=cpu_model,
@@ -66,6 +83,12 @@ class SoftWatt:
             seed=seed,
         )
         self.model = ProcessorPowerModel(self.config)
+        if not use_cache:
+            self.cache = None
+        elif cache_dir is not None:
+            self.cache = ProfileCache(cache_dir)
+        else:
+            self.cache = ProfileCache.from_env()
         self._profiles: dict[str, BenchmarkProfile] = {}
         self._service_profiles: dict[str, ServiceInvocationProfile] | None = None
 
@@ -73,17 +96,98 @@ class SoftWatt:
     # Profiling (cached)
     # ------------------------------------------------------------------
 
+    def _profile_key(self, spec: BenchmarkSpec) -> str:
+        profiler = self.profiler
+        return profile_cache_key(
+            spec,
+            self.config,
+            cpu_model=self.cpu_model,
+            window_instructions=profiler.window_instructions,
+            startup_chunks=profiler.startup_chunks,
+            steady_chunks=profiler.steady_chunks,
+            seed=self.seed,
+        )
+
     def profile(self, spec: BenchmarkSpec | str) -> BenchmarkProfile:
-        """Detailed-window profile of a benchmark (cached)."""
+        """Detailed-window profile of a benchmark.
+
+        Cached in memory per benchmark name, and — when the persistent
+        cache is enabled — on disk under a content-addressed key, so a
+        later process with the same spec, configuration, and profiling
+        parameters skips the detailed simulation entirely.
+        """
         if isinstance(spec, str):
             spec = benchmark(spec)
         cached = self._profiles.get(spec.name)
-        if cached is None or cached.spec != spec:
-            # Re-profile when a same-named spec differs (e.g. a
-            # dataclasses.replace variant of a built-in benchmark).
-            cached = self.profiler.profile_benchmark(spec)
-            self._profiles[spec.name] = cached
-        return cached
+        if cached is not None and cached.spec == spec:
+            return cached
+        # Re-profile when a same-named spec differs (e.g. a
+        # dataclasses.replace variant of a built-in benchmark).
+        profile = None
+        if self.cache is not None:
+            key = self._profile_key(spec)
+            profile = self.cache.load_profile(key, spec=spec, config=self.config)
+        if profile is None:
+            profile = self.profiler.profile_benchmark(spec)
+            if self.cache is not None:
+                self.cache.store_profile(key, profile)
+        self._profiles[spec.name] = profile
+        return profile
+
+    def profile_many(
+        self,
+        names: tuple[str, ...] = BENCHMARK_NAMES,
+        *,
+        workers: int | None = None,
+    ) -> dict[str, BenchmarkProfile]:
+        """Profile several benchmarks, fanning out across processes.
+
+        With ``workers <= 1`` this is just :meth:`profile` in a loop on
+        the shared profiler.  With more workers, benchmarks that miss
+        every cache are profiled in child processes on fresh profilers;
+        because each profile is built from fresh machine state seeded
+        only by ``(spec.seed, profiler seed)``, the results are
+        bit-identical to the serial path.  The parent stores the
+        returned profiles into the persistent cache.
+        """
+        workers = self.workers if workers is None else workers
+        specs = [benchmark(name) if isinstance(name, str) else name for name in names]
+        if workers <= 1:
+            return {spec.name: self.profile(spec) for spec in specs}
+
+        from repro.parallel import ProfileBenchmarkTask, profile_benchmarks
+
+        pending: list[BenchmarkSpec] = []
+        for spec in specs:
+            cached = self._profiles.get(spec.name)
+            if cached is not None and cached.spec == spec:
+                continue
+            if self.cache is not None:
+                profile = self.cache.load_profile(
+                    self._profile_key(spec), spec=spec, config=self.config
+                )
+                if profile is not None:
+                    self._profiles[spec.name] = profile
+                    continue
+            pending.append(spec)
+        profiler = self.profiler
+        tasks = [
+            ProfileBenchmarkTask(
+                spec=spec,
+                config=self.config,
+                cpu_model=self.cpu_model,
+                window_instructions=profiler.window_instructions,
+                startup_chunks=profiler.startup_chunks,
+                steady_chunks=profiler.steady_chunks,
+                seed=self.seed,
+            )
+            for spec in pending
+        ]
+        for spec, profile in zip(pending, profile_benchmarks(tasks, workers=workers)):
+            self._profiles[spec.name] = profile
+            if self.cache is not None:
+                self.cache.store_profile(self._profile_key(spec), profile)
+        return {spec.name: self._profiles[spec.name] for spec in specs}
 
     # ------------------------------------------------------------------
     # Full runs
@@ -142,27 +246,88 @@ class SoftWatt:
         *,
         disk: DiskPowerPolicy | int = 1,
         names: tuple[str, ...] = BENCHMARK_NAMES,
+        workers: int | None = None,
     ) -> dict[str, BenchmarkResult]:
-        """Run every benchmark under one disk configuration."""
+        """Run every benchmark under one disk configuration.
+
+        The expensive profiling stage fans out over ``workers``
+        processes (default: the constructor's ``workers``); the cheap
+        timeline/power stage then runs serially, so the results are
+        identical to a fully serial suite.
+        """
+        self.profile_many(names, workers=workers)
         return {name: self.run(name, disk=disk) for name in names}
 
     # ------------------------------------------------------------------
     # Kernel-service characterisation (Section 3.3)
     # ------------------------------------------------------------------
 
+    def _service_key(self, service: str, invocations: int) -> str:
+        return service_cache_key(
+            service,
+            self.config,
+            cpu_model=self.cpu_model,
+            invocations=invocations,
+            warmup=6,
+            seed=self.seed,
+        )
+
     def service_profiles(
         self,
         services: tuple[str, ...] = KERNEL_SERVICES,
         *,
         invocations: int = 60,
+        workers: int | None = None,
     ) -> dict[str, ServiceInvocationProfile]:
-        """Per-invocation energy statistics for the kernel services."""
-        return {
-            service: self.profiler.profile_service(
-                service, self.model, invocations=invocations
-            )
-            for service in services
-        }
+        """Per-invocation energy statistics for the kernel services.
+
+        Consults the persistent cache per service, and fans the cache
+        misses out over ``workers`` processes; each service is measured
+        on fresh machine state, so the fan-out is bit-identical to the
+        serial loop.
+        """
+        workers = self.workers if workers is None else workers
+        profiles: dict[str, ServiceInvocationProfile] = {}
+        pending: list[str] = []
+        for service in services:
+            cached = None
+            if self.cache is not None:
+                cached = self.cache.load_service(
+                    self._service_key(service, invocations)
+                )
+            if cached is not None:
+                profiles[service] = cached
+            else:
+                pending.append(service)
+        if workers <= 1:
+            for service in pending:
+                profiles[service] = self.profiler.profile_service(
+                    service, self.model, invocations=invocations
+                )
+        else:
+            from repro.parallel import ProfileServiceTask, profile_services
+
+            tasks = [
+                ProfileServiceTask(
+                    service=service,
+                    config=self.config,
+                    cpu_model=self.cpu_model,
+                    invocations=invocations,
+                    warmup=6,
+                    seed=self.seed,
+                )
+                for service in pending
+            ]
+            for service, profile in zip(
+                pending, profile_services(tasks, workers=workers)
+            ):
+                profiles[service] = profile
+        if self.cache is not None:
+            for service in pending:
+                self.cache.store_service(
+                    self._service_key(service, invocations), profiles[service]
+                )
+        return {service: profiles[service] for service in services}
 
     def _cached_service_profiles(self) -> dict[str, ServiceInvocationProfile]:
         """Service profiles used by every timeline run (computed once)."""

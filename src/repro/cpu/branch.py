@@ -16,7 +16,7 @@ from repro.config.system import CoreConfig
 from repro.isa.instruction import Instruction, OpClass
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class BranchStats:
     """Prediction accuracy statistics."""
 

@@ -22,7 +22,7 @@ from __future__ import annotations
 from repro.config.system import SystemConfig
 from repro.cpu.interfaces import InlineRefillClient, TrapClient
 from repro.cpu.runstats import LabelStats, RunStats
-from repro.isa.instruction import EXECUTION_LATENCY, Instruction, OpClass
+from repro.isa.instruction import Instruction, OpClass
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.stats.counters import AccessCounters
 
@@ -31,8 +31,6 @@ TAKEN_BRANCH_BUBBLE = 1
 
 TRAP_ENTRY_PENALTY = 4
 """Cycles to enter the exception vector."""
-
-_MEM_OPS = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.SYNC, OpClass.CACHEOP})
 
 
 class MipsyProcessor:
@@ -89,7 +87,9 @@ class MipsyProcessor:
         self.hierarchy.tlb_refill(faulting_address)
 
     def _process(self, instr: Instruction) -> None:
-        label_stats = self._switch_label(instr.service)
+        if instr.service != self._current_label:
+            self._switch_label(instr.service)
+        label_stats = self._label_stats
         counters = label_stats.counters
         start_cycle = self._cycle
 
@@ -108,10 +108,10 @@ class MipsyProcessor:
         op = instr.op
 
         # --- Execute / memory (blocking) ----------------------------------
-        extra = EXECUTION_LATENCY[op] - 1
+        extra = op.extra_latency
         if extra > 0:
             self._cycle += extra
-        if op in _MEM_OPS:
+        if op.is_mem:
             write = op is OpClass.STORE
             access = self.hierarchy.data_access(instr.address, write=write)
             if access.tlb_miss:
@@ -134,7 +134,7 @@ class MipsyProcessor:
 
         if op is OpClass.BRANCH:
             counters.branches += 1
-        if op.is_control and instr.taken:
+        if op.is_ctrl and instr.taken:
             self._cycle += TAKEN_BRANCH_BUBBLE
 
         # --- Per-unit activity --------------------------------------------
@@ -143,7 +143,7 @@ class MipsyProcessor:
             counters.imul_access += 1
         elif op is OpClass.FMUL:
             counters.fmul_access += 1
-        elif op.is_fp:
+        elif op.is_float:
             counters.falu_access += 1
         else:
             counters.ialu_access += 1

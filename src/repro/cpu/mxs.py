@@ -35,7 +35,7 @@ from repro.config.system import SystemConfig
 from repro.cpu.branch import BranchPredictor
 from repro.cpu.interfaces import InlineRefillClient, TrapClient
 from repro.cpu.runstats import LabelStats, RunStats
-from repro.isa.instruction import EXECUTION_LATENCY, Instruction, OpClass
+from repro.isa.instruction import Instruction, OpClass
 from repro.mem.hierarchy import MemoryHierarchy
 from repro.stats.counters import AccessCounters
 
@@ -46,20 +46,6 @@ TRAP_ENTRY_PENALTY = 3
 """Cycles to redirect fetch to the exception vector after a drain."""
 
 _PRUNE_INTERVAL = 1 << 15
-
-_INT_OPS = frozenset(
-    {
-        OpClass.IALU,
-        OpClass.BRANCH,
-        OpClass.JUMP,
-        OpClass.CALL,
-        OpClass.RETURN,
-        OpClass.SYSCALL,
-        OpClass.ERET,
-        OpClass.NOP,
-    }
-)
-_MEM_OPS = frozenset({OpClass.LOAD, OpClass.STORE, OpClass.SYNC, OpClass.CACHEOP})
 
 
 class MXSProcessor:
@@ -148,23 +134,25 @@ class MXSProcessor:
     def _find_issue_cycle(self, ready: int, op: OpClass) -> int:
         """Earliest cycle >= ready with an issue slot and a free unit."""
         issue_width = self.core.issue_width
-        if op in _MEM_OPS:
+        if op.is_mem:
             unit_used, unit_count = self._mem_used, 1
         elif op is OpClass.IMUL:
             unit_used, unit_count = self._imul_used, 1
-        elif op.is_fp:
+        elif op.is_float:
             unit_used, unit_count = self._fp_used, self.core.fp_alus
         else:
             unit_used, unit_count = self._int_used, self.core.int_alus
         cycle = ready
         issue_used = self._issue_used
+        issue_get = issue_used.get
+        unit_get = unit_used.get
         while (
-            issue_used.get(cycle, 0) >= issue_width
-            or unit_used.get(cycle, 0) >= unit_count
+            issue_get(cycle, 0) >= issue_width
+            or unit_get(cycle, 0) >= unit_count
         ):
             cycle += 1
-        issue_used[cycle] = issue_used.get(cycle, 0) + 1
-        unit_used[cycle] = unit_used.get(cycle, 0) + 1
+        issue_used[cycle] = issue_get(cycle, 0) + 1
+        unit_used[cycle] = unit_get(cycle, 0) + 1
         return cycle
 
     def _commit_slot(self, earliest: int) -> int:
@@ -210,35 +198,53 @@ class MXSProcessor:
     # ------------------------------------------------------------------
 
     def _process(self, instr: Instruction) -> None:
+        # Per-instruction pipeline state is carried in locals and only
+        # written back at trap boundaries (the utlb handler re-enters
+        # _process) and at the end — the single biggest win in the hot
+        # loop.  _next_fetch_slot, _find_issue_cycle, and _commit_slot
+        # remain the readable definitions of the logic inlined here.
         core = self.core
-        label_stats = self._switch_label(instr.service)
+        if instr.service != self._current_label:
+            self._switch_label(instr.service)
+        label_stats = self._label_stats
         counters = label_stats.counters
+        pc = instr.pc
 
-        # --- Fetch ----------------------------------------------------
-        fetch_cycle = self._next_fetch_slot()
-        fetch_result = self.hierarchy.fetch(instr.pc)
+        # --- Fetch (inline of _next_fetch_slot) ------------------------
+        fetch_cycle = self._fetch_cycle
+        fetched = self._fetched_this_cycle
+        block_until = self._fetch_block_until
+        if block_until > fetch_cycle:
+            fetch_cycle = block_until
+            fetched = 0
+        if fetched >= core.fetch_width:
+            fetch_cycle += 1
+            fetched = 0
+        fetch_result = self.hierarchy.fetch(pc)
         if fetch_result.tlb_miss:
-            self._take_utlb_trap(instr.pc)
+            self._fetch_cycle = fetch_cycle
+            self._fetched_this_cycle = fetched
+            self._take_utlb_trap(pc)
             label_stats = self._switch_label(instr.service)
             counters = label_stats.counters
             fetch_cycle = self._next_fetch_slot()
-            fetch_result = self.hierarchy.fetch(instr.pc)
+            fetched = self._fetched_this_cycle
+            fetch_result = self.hierarchy.fetch(pc)
             if fetch_result.tlb_miss:
-                raise RuntimeError(f"TLB refill for pc {instr.pc:#x} did not stick")
+                raise RuntimeError(f"TLB refill for pc {pc:#x} did not stick")
         if fetch_result.latency:
             # Blocking I-cache miss: the whole front end waits.
-            self._fetch_cycle = fetch_cycle + fetch_result.latency
-            self._fetched_this_cycle = 0
-            fetch_cycle = self._fetch_cycle
-        self._fetched_this_cycle += 1
+            fetch_cycle += fetch_result.latency
+            fetched = 0
+        fetched += 1
 
         op = instr.op
 
         # --- Branch prediction -----------------------------------------
         mispredicted = False
-        if op.is_control:
+        if op.is_ctrl:
             counters.bpred_access += 1
-            if op in (OpClass.CALL, OpClass.RETURN):
+            if op is OpClass.CALL or op is OpClass.RETURN:
                 counters.ras_access += 1
             if op is not OpClass.BRANCH or instr.taken:
                 counters.btb_access += 1
@@ -248,9 +254,9 @@ class MXSProcessor:
                 if not correct:
                     counters.branch_mispredicts += 1
             mispredicted = not correct
-            if not mispredicted and instr.taken:
+            if correct and instr.taken:
                 # Correctly-predicted taken branch still ends the group.
-                self._fetched_this_cycle = core.fetch_width
+                fetched = core.fetch_width
 
         # --- Dispatch (window/ROB/LSQ occupancy) -----------------------
         dispatch = fetch_cycle + FRONT_END_DEPTH
@@ -260,48 +266,76 @@ class MXSProcessor:
             if oldest_commit + 1 > dispatch:
                 # Window full: fetch is back-pressured.
                 dispatch = oldest_commit + 1
-        is_mem = op in _MEM_OPS
+        is_mem = op.is_mem
         if is_mem:
             lsq = self._lsq_commits
             if len(lsq) >= core.lsq_size:
                 oldest_mem = lsq.popleft()
                 if oldest_mem + 1 > dispatch:
                     dispatch = oldest_mem + 1
+        srcs = instr.srcs
         counters.rename_access += 1
         counters.window_dispatch += 1
         counters.rob_access += 1
-        counters.regfile_read += len(instr.srcs)
+        counters.regfile_read += len(srcs)
 
         # --- Ready (register dependences) -------------------------------
         ready = dispatch
         reg_ready = self._reg_ready
-        for src in instr.srcs:
+        for src in srcs:
             if src:
                 producer = reg_ready.get(src, 0)
                 if producer > ready:
                     ready = producer
 
-        # --- Issue / execute -------------------------------------------
-        issue = self._find_issue_cycle(ready, op)
+        # --- Issue / execute (inline of _find_issue_cycle) --------------
+        if is_mem:
+            unit_used, unit_count = self._mem_used, 1
+        elif op is OpClass.IMUL:
+            unit_used, unit_count = self._imul_used, 1
+        elif op.is_float:
+            unit_used, unit_count = self._fp_used, core.fp_alus
+        else:
+            unit_used, unit_count = self._int_used, core.int_alus
+        issue_width = core.issue_width
+        issue_used = self._issue_used
+        issue_get = issue_used.get
+        unit_get = unit_used.get
+        issue = ready
+        while (
+            issue_get(issue, 0) >= issue_width
+            or unit_get(issue, 0) >= unit_count
+        ):
+            issue += 1
+        issue_used[issue] = issue_get(issue, 0) + 1
+        unit_used[issue] = unit_get(issue, 0) + 1
+
         counters.window_issue += 1
-        latency = EXECUTION_LATENCY[op]
+        latency = op.latency
         complete = issue + latency
         if is_mem:
             counters.lsq_access += 1
+            address = instr.address
             write = op is OpClass.STORE
-            access = self.hierarchy.data_access(instr.address, write=write)
+            access = self.hierarchy.data_access(address, write=write)
             if access.tlb_miss:
                 # Precise data trap: drain, handle, retry the access.
-                trap_end = self._take_utlb_trap(instr.address)
+                self._fetch_cycle = fetch_cycle
+                self._fetched_this_cycle = fetched
+                trap_end = self._take_utlb_trap(address)
                 label_stats = self._switch_label(instr.service)
                 counters = label_stats.counters
-                access = self.hierarchy.data_access(instr.address, write=write)
+                access = self.hierarchy.data_access(address, write=write)
                 if access.tlb_miss:
                     raise RuntimeError(
-                        f"TLB refill for address {instr.address:#x} did not stick"
+                        f"TLB refill for address {address:#x} did not stick"
                     )
                 complete = trap_end + latency + access.latency + self.config.l1d.latency_cycles
-            elif op is OpClass.STORE:
+                # The handler advanced the front end; pick up its state
+                # so the write-back below does not roll it back.
+                fetch_cycle = self._fetch_cycle
+                fetched = self._fetched_this_cycle
+            elif write:
                 # Stores drain through the write buffer; the miss does
                 # not hold up completion.
                 complete = issue + latency
@@ -311,29 +345,43 @@ class MXSProcessor:
                 complete = issue + latency + access.latency + self.config.l1d.latency_cycles
             if op is OpClass.LOAD:
                 counters.loads += 1
-            elif op is OpClass.STORE:
+            elif write:
                 counters.stores += 1
 
         if op is OpClass.IMUL:
             counters.imul_access += 1
         elif op is OpClass.FMUL:
             counters.fmul_access += 1
-        elif op.is_fp:
+        elif op.is_float:
             counters.falu_access += 1
-        elif op in _INT_OPS:
+        elif not is_mem:
+            # Everything that is neither FP nor a memory op executes on
+            # the integer units (the _INT_OPS set).
             counters.ialu_access += 1
 
         # --- Writeback ---------------------------------------------------
-        if instr.dest:
-            reg_ready[instr.dest] = complete
+        dest = instr.dest
+        if dest:
+            reg_ready[dest] = complete
             counters.regfile_write += 1
             counters.resultbus_access += 1
             counters.window_wakeup += 1
 
-        # --- Commit --------------------------------------------------------
-        commit = self._commit_slot(complete + 1)
+        # --- Commit (inline of _commit_slot) ------------------------------
+        earliest = complete + 1
+        commit = self._commit_cycle
+        if earliest > commit:
+            commit = earliest
+            self._commit_cycle = earliest
+            self._committed_this_cycle = 1
+        elif self._committed_this_cycle >= core.commit_width:
+            commit += 1
+            self._commit_cycle = commit
+            self._committed_this_cycle = 1
+        else:
+            self._committed_this_cycle += 1
         counters.rob_access += 1
-        self._rob_commits.append(commit)
+        rob.append(commit)
         if is_mem:
             self._lsq_commits.append(commit)
 
@@ -346,17 +394,22 @@ class MXSProcessor:
                 # (this is why kernel code, with its worse prediction
                 # accuracy, shows proportionally more L1I activity --
                 # Section 3.2 / Table 3).
-                wrong_path_cycles = max(0, redirect - fetch_cycle - 1)
+                wrong_path_cycles = redirect - fetch_cycle - 1
+                if wrong_path_cycles < 0:
+                    wrong_path_cycles = 0
                 wrong_path_fetches = min(
                     int(wrong_path_cycles * core.fetch_width * 0.9),
                     4 * core.fetch_width,
                 )
                 counters.l1i_access += wrong_path_fetches
                 self._fetch_block_until = redirect
-        elif op in (OpClass.SYSCALL, OpClass.ERET):
+        elif op is OpClass.SYSCALL or op is OpClass.ERET:
             # Serialising instructions restart fetch after they commit.
             if commit + 1 > self._fetch_block_until:
                 self._fetch_block_until = commit + 1
+
+        self._fetch_cycle = fetch_cycle
+        self._fetched_this_cycle = fetched
 
         # --- Accounting ------------------------------------------------------
         gap = commit - self._last_commit
@@ -371,10 +424,12 @@ class MXSProcessor:
             label_stats.instr_cycles += gap
         self._stats.instructions += 1
 
-        self._since_prune += 1
-        if self._since_prune >= _PRUNE_INTERVAL:
+        since = self._since_prune + 1
+        if since >= _PRUNE_INTERVAL:
             self._since_prune = 0
             self._prune()
+        else:
+            self._since_prune = since
 
     # ------------------------------------------------------------------
     # Public API

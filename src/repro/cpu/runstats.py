@@ -19,7 +19,7 @@ USER_LABEL: str | None = None
 """Label carried by user-mode instructions."""
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class LabelStats:
     """Per-label (per-service) accounting."""
 
@@ -39,7 +39,7 @@ class LabelStats:
         return self.instructions / self.cycles
 
 
-@dataclasses.dataclass
+@dataclasses.dataclass(slots=True)
 class RunStats:
     """Results of one detailed CPU simulation."""
 

@@ -33,6 +33,7 @@ from __future__ import annotations
 import dataclasses
 import random
 import zlib
+from math import log as _log
 from typing import Iterator
 
 from repro.isa.instruction import (
@@ -155,6 +156,12 @@ class _DataAddressModel:
         self._rng = rng
         self._cursor = signature.data_base
         self._run_left = 0
+        self._run_lambd = 1.0 / signature.spatial_run_mean
+        self._limit = (
+            signature.data_base
+            + signature.data_footprint_bytes
+            - signature.stride_bytes
+        )
 
     def next_address(self) -> int:
         sig = self._sig
@@ -162,15 +169,17 @@ class _DataAddressModel:
             self._run_left -= 1
             self._cursor += sig.stride_bytes
         else:
-            if self._rng.random() < sig.temporal_locality:
+            rng = self._rng
+            if rng.random() < sig.temporal_locality:
                 span = sig.hot_data_bytes
             else:
                 span = sig.data_footprint_bytes
-            offset = self._rng.randrange(0, span, sig.stride_bytes)
+            offset = rng.randrange(0, span, sig.stride_bytes)
             self._cursor = sig.data_base + offset
-            self._run_left = max(0, int(self._rng.expovariate(1.0 / sig.spatial_run_mean)))
-        limit = sig.data_base + sig.data_footprint_bytes - sig.stride_bytes
-        if self._cursor > limit:
+            # Inlined random.Random.expovariate (identical arithmetic).
+            run = int(-_log(1.0 - rng.random()) / self._run_lambd)
+            self._run_left = run if run > 0 else 0
+        if self._cursor > self._limit:
             self._cursor = sig.data_base
         return self._cursor
 
@@ -191,6 +200,7 @@ class SyntheticCodeGenerator:
         # and would break cross-session reproducibility.
         name_hash = zlib.crc32(signature.name.encode())
         self._rng = random.Random(name_hash ^ seed)
+        self._dep_lambd = 1.0 / signature.dependency_distance
         self._data = _DataAddressModel(signature, self._rng)
         self._service = service
         self._recent_dests: list[int] = []
@@ -215,15 +225,19 @@ class SyntheticCodeGenerator:
         return reg
 
     def _pick_src(self) -> int:
-        if not self._recent_dests:
+        recent = self._recent_dests
+        if not recent:
             return 0
-        distance = int(self._rng.expovariate(1.0 / self.signature.dependency_distance))
-        index = len(self._recent_dests) - 1 - distance
+        # Inlined random.Random.expovariate (identical arithmetic).
+        distance = int(-_log(1.0 - self._rng.random()) / self._dep_lambd)
+        index = len(recent) - 1 - distance
         if index < 0:
             return 0
-        return self._recent_dests[index]
+        return recent[index]
 
     def _pick_srcs(self, count: int = 2) -> tuple[int, ...]:
+        if count == 2:
+            return (self._pick_src(), self._pick_src())
         return tuple(self._pick_src() for _ in range(count))
 
     # ------------------------------------------------------------------
@@ -343,50 +357,63 @@ class SyntheticCodeGenerator:
 
     def _run_loop(self, base_pc: int, spec: _LoopSpec) -> Iterator[Instruction]:
         service = self._service
-        body_len = len(spec.body_ops)
+        body_ops = spec.body_ops
+        body_len = len(body_ops)
         head = base_pc + spec.offset
         counter_pc = head + 4 * body_len
         branch_pc = counter_pc + 4
-        for iteration in range(spec.iterations):
-            pc = head
-            slot = 0
-            while slot < body_len:
-                if slot == spec.irregular_slot:
-                    skip = self._rng.random() < 0.5
-                    yield Instruction(
-                        pc=pc,
-                        op=OpClass.BRANCH,
-                        srcs=(self._pick_src(),),
-                        target=pc + 12,
-                        taken=skip,
-                        service=service,
-                    )
-                    if skip:
-                        advance = min(3, body_len - slot)
-                        pc += 4 * advance
-                        slot += advance
-                    else:
-                        pc += 4
-                        slot += 1
-                    continue
-                yield self._make_instruction(pc, spec.body_ops[slot])
-                pc += 4
-                slot += 1
-            yield Instruction(
-                pc=counter_pc,
-                op=OpClass.IALU,
-                dest=2,
-                srcs=(2,),
-                service=service,
-            )
-            yield Instruction(
-                pc=branch_pc,
-                op=OpClass.BRANCH,
-                srcs=(2,),
-                target=head,
-                taken=iteration != spec.iterations - 1,
-                service=service,
-            )
+        iterations = spec.iterations
+        irregular_slot = spec.irregular_slot
+        make = self._make_instruction
+        # The loop tail is static — the counter update and the back
+        # branch carry no per-iteration state — so the (frozen)
+        # instructions are built once and re-yielded every iteration.
+        counter_instr = Instruction(
+            pc=counter_pc, op=OpClass.IALU, dest=2, srcs=(2,), service=service
+        )
+        back_taken = Instruction(
+            pc=branch_pc, op=OpClass.BRANCH, srcs=(2,), target=head,
+            taken=True, service=service,
+        )
+        back_exit = Instruction(
+            pc=branch_pc, op=OpClass.BRANCH, srcs=(2,), target=head,
+            taken=False, service=service,
+        )
+        last_iteration = iterations - 1
+        for iteration in range(iterations):
+            if irregular_slot < 0:
+                # Straight-line body: no data-dependent control flow.
+                pc = head
+                for op in body_ops:
+                    yield make(pc, op)
+                    pc += 4
+            else:
+                pc = head
+                slot = 0
+                while slot < body_len:
+                    if slot == irregular_slot:
+                        skip = self._rng.random() < 0.5
+                        yield Instruction(
+                            pc=pc,
+                            op=OpClass.BRANCH,
+                            srcs=(self._pick_src(),),
+                            target=pc + 12,
+                            taken=skip,
+                            service=service,
+                        )
+                        if skip:
+                            advance = min(3, body_len - slot)
+                            pc += 4 * advance
+                            slot += advance
+                        else:
+                            pc += 4
+                            slot += 1
+                        continue
+                    yield make(pc, body_ops[slot])
+                    pc += 4
+                    slot += 1
+            yield counter_instr
+            yield back_taken if iteration != last_iteration else back_exit
 
     def _run_function(
         self, base_pc: int, depth: int, return_pc: int

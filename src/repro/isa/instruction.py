@@ -76,6 +76,25 @@ EXECUTION_LATENCY: dict[OpClass, int] = {
 }
 
 
+# ---------------------------------------------------------------------------
+# Hot-path dispatch attributes.
+#
+# The cycle-level models consult per-op facts for every dynamic
+# instruction; enum property calls and dict lookups (which hash the
+# member name) dominate that path.  Plain member attributes reduce each
+# consultation to a single instance-dict read.  The properties above
+# remain the canonical definitions; these are derived from them once at
+# import time.
+# ---------------------------------------------------------------------------
+for _op in OpClass:
+    _op.latency = EXECUTION_LATENCY[_op]
+    _op.extra_latency = EXECUTION_LATENCY[_op] - 1
+    _op.is_mem = _op.is_memory
+    _op.is_ctrl = _op.is_control
+    _op.is_float = _op.is_fp
+del _op
+
+
 @dataclasses.dataclass(frozen=True, slots=True)
 class Instruction:
     """One dynamic instruction.
@@ -104,7 +123,8 @@ class Instruction:
     def __post_init__(self) -> None:
         if self.pc < 0 or self.pc % 4 != 0:
             raise ValueError(f"pc must be a non-negative multiple of 4, got {self.pc}")
-        if self.op.is_memory and self.op is not OpClass.CACHEOP and self.size <= 0:
+        op = self.op
+        if op.is_mem and op is not OpClass.CACHEOP and self.size <= 0:
             raise ValueError(f"memory op at pc={self.pc:#x} needs a positive size")
 
     @property

@@ -62,6 +62,11 @@ def counted_loop(
     if iterations <= 0:
         raise ValueError(f"iterations must be positive, got {iterations}")
     body_len: int | None = None
+    # The decrement and back branch are loop-invariant (the branch has
+    # a taken and an exit variant); the frozen instructions are built
+    # on the first pass and re-yielded.
+    decrement = back_taken = back_exit = None
+    last_iteration = iterations - 1
     for iteration in range(iterations):
         emitted = 0
         for instr in emit_body(iteration, base_pc):
@@ -69,27 +74,41 @@ def counted_loop(
             yield instr
         if body_len is None:
             body_len = emitted
+            decrement_pc = base_pc + 4 * body_len
+            decrement = Instruction(
+                pc=decrement_pc,
+                op=OpClass.IALU,
+                dest=counter_reg,
+                srcs=(counter_reg,),
+                service=service,
+            )
+            back_taken = Instruction(
+                pc=decrement_pc + 4,
+                op=OpClass.BRANCH,
+                srcs=(counter_reg,),
+                target=base_pc,
+                taken=True,
+                service=service,
+            )
+            back_exit = Instruction(
+                pc=decrement_pc + 4,
+                op=OpClass.BRANCH,
+                srcs=(counter_reg,),
+                target=base_pc,
+                taken=False,
+                service=service,
+            )
         elif emitted != body_len:
             raise ValueError(
                 f"loop body emitted {emitted} instructions on iteration "
                 f"{iteration}, expected {body_len}"
             )
-        decrement_pc = base_pc + 4 * body_len
-        yield Instruction(
-            pc=decrement_pc,
-            op=OpClass.IALU,
-            dest=counter_reg,
-            srcs=(counter_reg,),
-            service=service,
-        )
-        yield Instruction(
-            pc=decrement_pc + 4,
-            op=OpClass.BRANCH,
-            srcs=(counter_reg,),
-            target=base_pc,
-            taken=iteration != iterations - 1,
-            service=service,
-        )
+        yield decrement
+        yield back_taken if iteration != last_iteration else back_exit
+
+
+_WALK_CACHE: dict[tuple, tuple[Instruction, ...]] = {}
+_WALK_CACHE_MAX = 128
 
 
 def memory_walk(
@@ -110,15 +129,55 @@ def memory_walk(
     (``demand_zero`` zeroing a page, ``read`` copying out of the file
     cache): one memory operation, one address increment, one backward
     branch per element.
+
+    The whole unrolled loop is a pure function of the arguments (the
+    addresses advance deterministically), so it is materialised once
+    per distinct signature and re-yielded.
     """
     if op not in (OpClass.LOAD, OpClass.STORE):
         raise ValueError(f"memory_walk requires LOAD or STORE, got {op}")
     if count <= 0:
         raise ValueError(f"count must be positive, got {count}")
+    key = (base_pc, op, start_address, count, stride, size, value_reg, address_reg, service)
+    cached = _WALK_CACHE.get(key)
+    if cached is None:
+        cached = tuple(
+            _build_memory_walk(
+                base_pc, op, start_address, count,
+                stride=stride, size=size, value_reg=value_reg,
+                address_reg=address_reg, service=service,
+            )
+        )
+        if len(_WALK_CACHE) >= _WALK_CACHE_MAX:
+            _WALK_CACHE.clear()
+        _WALK_CACHE[key] = cached
+    return iter(cached)
+
+
+def _build_memory_walk(
+    base_pc: int,
+    op: OpClass,
+    start_address: int,
+    count: int,
+    *,
+    stride: int,
+    size: int,
+    value_reg: int,
+    address_reg: int,
+    service: str | None,
+) -> Iterator[Instruction]:
+    dest = value_reg if op is OpClass.LOAD else 0
+    srcs = (address_reg,) if op is OpClass.LOAD else (value_reg, address_reg)
+    # The address increment is loop-invariant; built once.
+    increment = Instruction(
+        pc=base_pc + 4,
+        op=OpClass.IALU,
+        dest=address_reg,
+        srcs=(address_reg,),
+        service=service,
+    )
 
     def body(iteration: int, pc: int) -> Iterable[Instruction]:
-        dest = value_reg if op is OpClass.LOAD else 0
-        srcs = (address_reg,) if op is OpClass.LOAD else (value_reg, address_reg)
         yield Instruction(
             pc=pc,
             op=op,
@@ -128,13 +187,7 @@ def memory_walk(
             size=size,
             service=service,
         )
-        yield Instruction(
-            pc=pc + 4,
-            op=OpClass.IALU,
-            dest=address_reg,
-            srcs=(address_reg,),
-            service=service,
-        )
+        yield increment
 
     yield from counted_loop(base_pc, count, body, service=service)
 
@@ -152,6 +205,14 @@ def copy_loop(
     if nbytes <= 0:
         raise ValueError(f"nbytes must be positive, got {nbytes}")
     words = max(1, (nbytes + word - 1) // word)
+
+    # The two pointer increments are loop-invariant; built once.
+    incr_src = Instruction(
+        pc=base_pc + 8, op=OpClass.IALU, dest=4, srcs=(4,), service=service
+    )
+    incr_dst = Instruction(
+        pc=base_pc + 12, op=OpClass.IALU, dest=5, srcs=(5,), service=service
+    )
 
     def body(iteration: int, pc: int) -> Iterable[Instruction]:
         offset = iteration * word
@@ -172,8 +233,8 @@ def copy_loop(
             size=word,
             service=service,
         )
-        yield Instruction(pc=pc + 8, op=OpClass.IALU, dest=4, srcs=(4,), service=service)
-        yield Instruction(pc=pc + 12, op=OpClass.IALU, dest=5, srcs=(5,), service=service)
+        yield incr_src
+        yield incr_dst
 
     yield from counted_loop(base_pc, words, body, service=service)
 
@@ -194,11 +255,12 @@ def spin_loop(
     """
     if spins <= 0:
         raise ValueError(f"spins must be positive, got {spins}")
-    for spin in range(spins):
-        last = spin == spins - 1
-        # Each ll observes the previous pass's test result: passes are
-        # serially dependent, as in a real lock-polling loop.
-        yield Instruction(
+    # Each ll observes the previous pass's test result: passes are
+    # serially dependent, as in a real lock-polling loop.  Every pass
+    # is the same four instructions plus the back branch (taken except
+    # on the last pass), built once and re-yielded.
+    body = (
+        Instruction(
             pc=base_pc,
             op=OpClass.SYNC,
             dest=3,
@@ -206,24 +268,26 @@ def spin_loop(
             address=lock_address,
             size=4,
             service=service,
-        )
-        yield Instruction(
-            pc=base_pc + 4, op=OpClass.IALU, dest=5, srcs=(3,), service=service
-        )
-        yield Instruction(
-            pc=base_pc + 8, op=OpClass.IALU, dest=6, srcs=(5,), service=service
-        )
-        yield Instruction(
+        ),
+        Instruction(pc=base_pc + 4, op=OpClass.IALU, dest=5, srcs=(3,), service=service),
+        Instruction(pc=base_pc + 8, op=OpClass.IALU, dest=6, srcs=(5,), service=service),
+        Instruction(
             pc=base_pc + 12, op=OpClass.IALU, dest=7, srcs=(6,), service=service
-        )
-        yield Instruction(
-            pc=base_pc + 16,
-            op=OpClass.BRANCH,
-            srcs=(7,),
-            target=base_pc,
-            taken=not last,
-            service=service,
-        )
+        ),
+    )
+    back_taken = Instruction(
+        pc=base_pc + 16, op=OpClass.BRANCH, srcs=(7,), target=base_pc,
+        taken=True, service=service,
+    )
+    back_exit = Instruction(
+        pc=base_pc + 16, op=OpClass.BRANCH, srcs=(7,), target=base_pc,
+        taken=False, service=service,
+    )
+    for _ in range(spins - 1):
+        yield from body
+        yield back_taken
+    yield from body
+    yield back_exit
 
 
 def chain(*streams: Iterable[Instruction]) -> Iterator[Instruction]:

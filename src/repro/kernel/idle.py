@@ -39,9 +39,11 @@ def idle_loop(iterations: int) -> Iterator[Instruction]:
     if iterations <= 0:
         raise ValueError(f"iterations must be positive, got {iterations}")
     pc = IDLE_PC
-    for i in range(iterations):
-        last = i == iterations - 1
-        yield Instruction(
+    # Every pass is the same five instructions plus the back branch
+    # (taken except on the last pass); the frozen instructions are
+    # built once and re-yielded.
+    body = (
+        Instruction(
             pc=pc,
             op=OpClass.LOAD,
             dest=8,
@@ -49,11 +51,9 @@ def idle_loop(iterations: int) -> Iterator[Instruction]:
             address=RUN_QUEUE_ADDRESS,
             size=8,
             service=IDLE_LABEL,
-        )
-        yield Instruction(
-            pc=pc + 4, op=OpClass.IALU, dest=9, srcs=(8,), service=IDLE_LABEL
-        )
-        yield Instruction(
+        ),
+        Instruction(pc=pc + 4, op=OpClass.IALU, dest=9, srcs=(8,), service=IDLE_LABEL),
+        Instruction(
             pc=pc + 8,
             op=OpClass.LOAD,
             dest=10,
@@ -61,21 +61,27 @@ def idle_loop(iterations: int) -> Iterator[Instruction]:
             address=SCHED_FLAGS_ADDRESS,
             size=8,
             service=IDLE_LABEL,
-        )
-        yield Instruction(
+        ),
+        Instruction(
             pc=pc + 12, op=OpClass.IALU, dest=11, srcs=(10,), service=IDLE_LABEL
-        )
-        yield Instruction(
+        ),
+        Instruction(
             pc=pc + 16, op=OpClass.IALU, dest=9, srcs=(11,), service=IDLE_LABEL
-        )
-        yield Instruction(
-            pc=pc + 20,
-            op=OpClass.BRANCH,
-            srcs=(9,),
-            target=pc,
-            taken=not last,
-            service=IDLE_LABEL,
-        )
+        ),
+    )
+    back_taken = Instruction(
+        pc=pc + 20, op=OpClass.BRANCH, srcs=(9,), target=pc, taken=True,
+        service=IDLE_LABEL,
+    )
+    back_exit = Instruction(
+        pc=pc + 20, op=OpClass.BRANCH, srcs=(9,), target=pc, taken=False,
+        service=IDLE_LABEL,
+    )
+    for _ in range(iterations - 1):
+        yield from body
+        yield back_taken
+    yield from body
+    yield back_exit
 
 
 IDLE_LOOP_LENGTH = 6

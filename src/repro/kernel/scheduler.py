@@ -137,13 +137,17 @@ class InterleavedWorkload:
 
         index = 0
         last_pc = 0x0040_0000
+        # The set of scheduled activities is fixed for the life of the
+        # iteration; only the countdowns change.
+        tags = list(schedule)
         for instr in self._user:
             yield instr
             last_pc = instr.pc
             index += 1
-            for tag in list(schedule):
-                schedule[tag] -= 1
-                if schedule[tag] > 0:
+            for tag in tags:
+                remaining = schedule[tag] - 1
+                schedule[tag] = remaining
+                if remaining > 0:
                     continue
                 if tag == "sys":
                     yield self._emit_syscall_marker(last_pc)

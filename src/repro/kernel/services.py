@@ -59,6 +59,13 @@ ZERO_PAGE_POOL = KSEG_BASE + 0x0400_0000
 DEVICE_REGISTERS = KSEG_BASE + 0x0500_0000
 USER_COPY_WINDOW = KSEG_BASE + 0x0600_0000
 
+# Handler bodies are deterministic given their parameters and built
+# from frozen instructions, so the hot ones are memoized and re-yielded
+# (the instructions are immutable; consumers never mutate them).
+_PROLOGUE_CACHE: dict[tuple, tuple[Instruction, ...]] = {}
+_UTLB_CACHE: dict[int, tuple[Instruction, ...]] = {}
+_CACHEFLUSH_CACHE: dict[tuple, tuple[Instruction, ...]] = {}
+
 
 class KernelServices:
     """Builds handler-body instruction streams for each kernel service.
@@ -95,7 +102,40 @@ class KernelServices:
         instructions (argument fetches, table lookups).  ``chain``
         makes each instruction depend on the previous one, giving the
         serial flavour of kernel entry code (low ILP, Section 3.2).
+
+        The sequence is a pure function of the arguments, so it is
+        built once per distinct signature and re-yielded.
         """
+        key = (pc, count, service, loads_every, data_base, data_span, chain)
+        cached = _PROLOGUE_CACHE.get(key)
+        if cached is None:
+            cached = tuple(
+                KernelServices._build_prologue(
+                    pc,
+                    count,
+                    service,
+                    loads_every=loads_every,
+                    data_base=data_base,
+                    data_span=data_span,
+                    chain=chain,
+                )
+            )
+            if len(_PROLOGUE_CACHE) >= 256:
+                _PROLOGUE_CACHE.clear()
+            _PROLOGUE_CACHE[key] = cached
+        return iter(cached)
+
+    @staticmethod
+    def _build_prologue(
+        pc: int,
+        count: int,
+        service: str,
+        *,
+        loads_every: int,
+        data_base: int,
+        data_span: int,
+        chain: bool,
+    ) -> Iterator[Instruction]:
         prev_dest = 8
         for i in range(count):
             dest = 8 + (i % 4)
@@ -138,10 +178,22 @@ class KernelServices:
         the single PTE load — this is why utlb's average power is far
         below the other services (Figure 8).
         """
-        service = "utlb"
-        pc = UTLB_PC
         # Page tables are 8 bytes per 4 KB page, packed: hot and tiny.
         pte_address = PTE_TABLE_BASE + ((faulting_address >> 12) & 0x3FF) * 8
+        # The body depends only on the PTE slot (1024 of them), and the
+        # handler fires on every TLB miss: memoize per slot.
+        cached = _UTLB_CACHE.get(pte_address)
+        if cached is None:
+            cached = tuple(self._build_utlb(pte_address))
+            if len(_UTLB_CACHE) >= 1024:
+                _UTLB_CACHE.clear()
+            _UTLB_CACHE[pte_address] = cached
+        return iter(cached)
+
+    @staticmethod
+    def _build_utlb(pte_address: int) -> Iterator[Instruction]:
+        service = "utlb"
+        pc = UTLB_PC
         # Trap entry: context save, EntryHi/BadVAddr/status reads --
         # moderately serial move/shift sequences (two-wide chains), the
         # shape of the hand-written MIPS refill path.
@@ -176,7 +228,7 @@ class KernelServices:
                 service=service,
             )
             count += 1
-        yield self._eret(pc + 4 * count, service)
+        yield KernelServices._eret(pc + 4 * count, service)
 
     def tlb_miss(self, faulting_address: int) -> Iterator[Instruction]:
         """The slow, general TLB-miss path (nested/kernel misses)."""
@@ -247,6 +299,25 @@ class KernelServices:
         line = self.config.l1i.line_bytes
         lines = (self.config.l1i.num_lines + self.config.l1d.num_lines) // 4
         loop_pc = pc + 4 * 16
+        # The sweep is fully static for a given cache geometry; build
+        # it once and re-yield.  The architectural flush still happens
+        # at consumption time, after the sweep has been yielded.
+        key = (loop_pc, line, lines)
+        sweep = _CACHEFLUSH_CACHE.get(key)
+        if sweep is None:
+            sweep = tuple(self._build_cacheflush_sweep(loop_pc, line, lines, service))
+            if len(_CACHEFLUSH_CACHE) >= 16:
+                _CACHEFLUSH_CACHE.clear()
+            _CACHEFLUSH_CACHE[key] = sweep
+        yield from sweep
+        if hierarchy is not None:
+            hierarchy.flush_caches()
+        yield self._eret(loop_pc + 12, service)
+
+    @staticmethod
+    def _build_cacheflush_sweep(
+        loop_pc: int, line: int, lines: int, service: str
+    ) -> Iterator[Instruction]:
         for i in range(lines):
             yield Instruction(
                 pc=loop_pc,
@@ -267,9 +338,6 @@ class KernelServices:
                 taken=i != lines - 1,
                 service=service,
             )
-        if hierarchy is not None:
-            hierarchy.flush_caches()
-        yield self._eret(loop_pc + 12, service)
 
     # ------------------------------------------------------------------
     # I/O system calls (externally invoked; data-dependent work)

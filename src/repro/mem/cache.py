@@ -44,12 +44,15 @@ class Cache:
         self.stats = CacheStats()
         self._offset_bits = config.line_bytes.bit_length() - 1
         self._index_mask = config.num_sets - 1
+        self._tag_shift = self._index_mask.bit_length()
+        self._write_back = config.write_back
+        self._associativity = config.associativity
         self._sets: list[dict[int, bool]] = [dict() for _ in range(config.num_sets)]
 
     def _locate(self, address: int) -> tuple[dict[int, bool], int]:
         block = address >> self._offset_bits
         index = block & self._index_mask
-        tag = block >> (self._index_mask.bit_length())
+        tag = block >> self._tag_shift
         return self._sets[index], tag
 
     def access(self, address: int, *, write: bool = False) -> tuple[bool, bool]:
@@ -62,22 +65,31 @@ class Cache:
         """
         if address < 0:
             raise ValueError(f"address must be non-negative, got {address}")
-        cache_set, tag = self._locate(address)
-        self.stats.accesses += 1
-        dirty_on_write = write and self.config.write_back
+        block = address >> self._offset_bits
+        cache_set = self._sets[block & self._index_mask]
+        tag = block >> self._tag_shift
+        stats = self.stats
+        stats.accesses += 1
+        dirty_on_write = write and self._write_back
         if tag in cache_set:
-            self.stats.hits += 1
-            dirty = cache_set.pop(tag) or dirty_on_write
-            cache_set[tag] = dirty
+            stats.hits += 1
+            # MRU fast path: hot loops re-touch the most recently used
+            # line of a set far more often than any other; recency order
+            # is already correct then, so the pop/re-insert is skipped.
+            if next(reversed(cache_set)) != tag:
+                dirty = cache_set.pop(tag) or dirty_on_write
+                cache_set[tag] = dirty
+            elif dirty_on_write and not cache_set[tag]:
+                cache_set[tag] = True
             return True, False
-        self.stats.misses += 1
+        stats.misses += 1
         writeback = False
-        if len(cache_set) >= self.config.associativity:
+        if len(cache_set) >= self._associativity:
             _victim_tag, victim_dirty = next(iter(cache_set.items()))
             del cache_set[_victim_tag]
             if victim_dirty:
                 writeback = True
-                self.stats.writebacks += 1
+                stats.writebacks += 1
         cache_set[tag] = dirty_on_write
         return False, writeback
 

@@ -40,6 +40,7 @@ class AccessResult:
 
 
 _HIT = AccessResult(latency=0, tlb_miss=False)
+_TLB_MISS = AccessResult(latency=0, tlb_miss=True)
 
 
 class MemoryHierarchy:
@@ -107,22 +108,36 @@ class MemoryHierarchy:
 
     def fetch(self, pc: int) -> AccessResult:
         """Fetch the instruction at ``pc`` through the I-side."""
-        if self._translate(pc):
-            return AccessResult(latency=0, tlb_miss=True)
-        self.counters.l1i_access += 1
+        counters = self.counters
+        # Inline of _translate: this path runs once per fetched
+        # instruction and dominates the hierarchy's cost.
+        if pc < KSEG_BASE:
+            counters.tlb_access += 1
+            if not self.tlb.access(pc):
+                counters.tlb_miss += 1
+                if self.config.tlb.software_managed:
+                    return _TLB_MISS
+                self.tlb.refill(pc)
+        counters.l1i_access += 1
         hit, _writeback = self.l1i.access(pc)
         if hit:
             return _HIT
-        self.counters.l1i_miss += 1
+        counters.l1i_miss += 1
         return AccessResult(
             latency=self._l2_fill(pc, from_instruction=True), tlb_miss=False
         )
 
     def data_access(self, address: int, *, write: bool = False) -> AccessResult:
         """Access data at ``address`` through the D-side."""
-        if self._translate(address):
-            return AccessResult(latency=0, tlb_miss=True)
-        self.counters.l1d_access += 1
+        counters = self.counters
+        if address < KSEG_BASE:
+            counters.tlb_access += 1
+            if not self.tlb.access(address):
+                counters.tlb_miss += 1
+                if self.config.tlb.software_managed:
+                    return _TLB_MISS
+                self.tlb.refill(address)
+        counters.l1d_access += 1
         hit, writeback = self.l1d.access(address, write=write)
         if hit:
             return _HIT

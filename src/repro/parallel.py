@@ -1,0 +1,137 @@
+"""Process-pool fan-out for the detailed profiling stage.
+
+Profiling is embarrassingly parallel: each benchmark (and each kernel
+service) is profiled on a *fresh* machine state whose seeds derive only
+from the benchmark spec and the profiler seed, so results are
+independent of profiling order and of which process performed the work.
+This module exploits that: :func:`parallel_map` fans tasks out over a
+``fork`` process pool, and the task dataclasses below carry everything
+a child needs to rebuild a :class:`~repro.core.profiles.Profiler` and
+produce a bit-identical result.
+
+``workers <= 1`` (the default everywhere) never touches
+``multiprocessing`` — the serial path is the fallback, and it is also
+used automatically when the platform cannot fork or the pool breaks.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Callable, Iterable, Sequence, TypeVar
+
+from repro.config.system import SystemConfig
+from repro.core.profiles import (
+    BenchmarkProfile,
+    Profiler,
+    ServiceInvocationProfile,
+)
+from repro.workloads.specjvm98 import BenchmarkSpec
+
+_T = TypeVar("_T")
+_R = TypeVar("_R")
+
+
+def parallel_map(
+    fn: Callable[[_T], _R],
+    items: Sequence[_T],
+    *,
+    workers: int = 1,
+) -> list[_R]:
+    """``[fn(item) for item in items]``, fanned out over ``workers``.
+
+    Order of results matches the order of ``items`` regardless of
+    completion order, so callers can zip them back deterministically.
+    Falls back to the serial path when the pool cannot be created or
+    dies (e.g. no ``fork`` support, resource limits).
+    """
+    items = list(items)
+    if workers <= 1 or len(items) <= 1:
+        return [fn(item) for item in items]
+    try:
+        import concurrent.futures
+        import multiprocessing
+
+        context = multiprocessing.get_context("fork")
+        with concurrent.futures.ProcessPoolExecutor(
+            max_workers=min(workers, len(items)), mp_context=context
+        ) as pool:
+            return list(pool.map(fn, items))
+    except (ValueError, OSError, ImportError):
+        return [fn(item) for item in items]
+
+
+# ---------------------------------------------------------------------------
+# Picklable profiling tasks
+# ---------------------------------------------------------------------------
+
+@dataclasses.dataclass(frozen=True)
+class ProfileBenchmarkTask:
+    """Everything a child process needs to profile one benchmark."""
+
+    spec: BenchmarkSpec
+    config: SystemConfig
+    cpu_model: str
+    window_instructions: int
+    startup_chunks: int
+    steady_chunks: int
+    seed: int
+
+
+@dataclasses.dataclass(frozen=True)
+class ProfileServiceTask:
+    """Everything a child process needs to profile one kernel service."""
+
+    service: str
+    config: SystemConfig
+    cpu_model: str
+    invocations: int
+    warmup: int
+    seed: int
+
+
+def _make_profiler(task: ProfileBenchmarkTask | ProfileServiceTask, **kwargs) -> Profiler:
+    return Profiler(
+        task.config,
+        cpu_model=task.cpu_model,
+        seed=task.seed,
+        **kwargs,
+    )
+
+
+def run_profile_benchmark_task(task: ProfileBenchmarkTask) -> BenchmarkProfile:
+    """Profile one benchmark on a fresh profiler (child-process entry)."""
+    profiler = _make_profiler(
+        task,
+        window_instructions=task.window_instructions,
+        startup_chunks=task.startup_chunks,
+        steady_chunks=task.steady_chunks,
+    )
+    return profiler.profile_benchmark(task.spec)
+
+
+def run_profile_service_task(task: ProfileServiceTask) -> ServiceInvocationProfile:
+    """Profile one kernel service on a fresh profiler (child-process entry)."""
+    from repro.power.processor import ProcessorPowerModel
+
+    profiler = _make_profiler(task)
+    model = ProcessorPowerModel(task.config)
+    return profiler.profile_service(
+        task.service,
+        model,
+        invocations=task.invocations,
+        warmup=task.warmup,
+    )
+
+
+def profile_benchmarks(
+    tasks: Iterable[ProfileBenchmarkTask], *, workers: int = 1
+) -> list[BenchmarkProfile]:
+    """Profile many benchmarks, fanning out when ``workers > 1``."""
+    return parallel_map(run_profile_benchmark_task, list(tasks), workers=workers)
+
+
+def profile_services(
+    tasks: Iterable[ProfileServiceTask], *, workers: int = 1
+) -> list[ServiceInvocationProfile]:
+    """Profile many kernel services, fanning out when ``workers > 1``."""
+    return parallel_map(run_profile_service_task, list(tasks), workers=workers)

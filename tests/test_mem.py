@@ -111,6 +111,73 @@ class TestCache:
             assert hit
 
 
+class _NaiveLRUCache:
+    """Reference model: pop/re-insert on *every* hit, no fast paths."""
+
+    def __init__(self, num_sets, associativity, line_bytes, write_back):
+        self._offset_bits = line_bytes.bit_length() - 1
+        self._index_mask = num_sets - 1
+        self._tag_shift = self._index_mask.bit_length()
+        self._associativity = associativity
+        self._write_back = write_back
+        self._sets = [dict() for _ in range(num_sets)]
+        self.hits = self.misses = self.writebacks = 0
+
+    def access(self, address, *, write=False):
+        block = address >> self._offset_bits
+        cache_set = self._sets[block & self._index_mask]
+        tag = block >> self._tag_shift
+        dirty = write and self._write_back
+        if tag in cache_set:
+            self.hits += 1
+            cache_set[tag] = cache_set.pop(tag) or dirty
+            return
+        self.misses += 1
+        if len(cache_set) >= self._associativity:
+            victim = next(iter(cache_set))
+            if cache_set.pop(victim):
+                self.writebacks += 1
+        cache_set[tag] = dirty
+
+
+class TestCacheLRURegression:
+    """The MRU fast path must not change any hit/miss/writeback count."""
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(0, 1 << 14), st.booleans()),
+            min_size=1,
+            max_size=400,
+        ),
+        st.booleans(),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_counts_match_naive_lru(self, accesses, write_back):
+        cache = small_cache(write_back=write_back)
+        config = cache.config
+        reference = _NaiveLRUCache(
+            config.num_sets, config.associativity, config.line_bytes, write_back
+        )
+        for address, write in accesses:
+            cache.access(address, write=write)
+            reference.access(address, write=write)
+        assert cache.stats.hits == reference.hits
+        assert cache.stats.misses == reference.misses
+        assert cache.stats.writebacks == reference.writebacks
+
+    def test_dirty_upgrade_on_mru_hit_causes_writeback(self):
+        # A write hitting the MRU line takes the fast path but must
+        # still mark the line dirty, so its later eviction writes back.
+        cache = small_cache()  # 8 sets, 2-way, write-back
+        set_stride = 8 * 64
+        a, b, c = 0x0, set_stride, 2 * set_stride
+        cache.access(a)             # clean fill, a is MRU
+        cache.access(a, write=True)  # MRU hit; must upgrade to dirty
+        cache.access(b)
+        cache.access(c)             # evicts a, which must be dirty
+        assert cache.stats.writebacks == 1
+
+
 class TestTLB:
     def test_miss_does_not_install(self):
         tlb = TLB(TLBConfig(entries=4))

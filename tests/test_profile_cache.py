@@ -1,0 +1,175 @@
+"""Tests for the persistent content-addressed profile cache."""
+
+import dataclasses
+import json
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core import checkpoint
+from repro.core.checkpoint import (
+    CACHE_DIR_ENV,
+    MODEL_VERSION,
+    ProfileCache,
+    decode_profile,
+    encode_profile,
+    profile_cache_key,
+    service_cache_key,
+)
+from repro.core.softwatt import SoftWatt
+from repro.workloads.specjvm98 import benchmark
+
+WINDOW = 4000
+
+
+def make_sw(tmp_path, **overrides):
+    params = dict(window_instructions=WINDOW, seed=1, cache_dir=tmp_path)
+    params.update(overrides)
+    return SoftWatt(**params)
+
+
+class TestCacheKeys:
+    def test_key_is_deterministic(self):
+        config = SystemConfig.table1()
+        kwargs = dict(cpu_model="mxs", window_instructions=WINDOW,
+                      startup_chunks=4, steady_chunks=2, seed=1)
+        spec = benchmark("jess")
+        assert (profile_cache_key(spec, config, **kwargs)
+                == profile_cache_key(spec, config, **kwargs))
+
+    def test_key_depends_on_every_input(self):
+        config = SystemConfig.table1()
+        base = dict(cpu_model="mxs", window_instructions=WINDOW,
+                    startup_chunks=4, steady_chunks=2, seed=1)
+        spec = benchmark("jess")
+        reference = profile_cache_key(spec, config, **base)
+        assert profile_cache_key(benchmark("db"), config, **base) != reference
+        for field, value in (("cpu_model", "mipsy"),
+                             ("window_instructions", WINDOW * 2),
+                             ("startup_chunks", 5),
+                             ("steady_chunks", 3),
+                             ("seed", 2)):
+            assert profile_cache_key(
+                spec, config, **{**base, field: value}
+            ) != reference
+        small_l1 = dataclasses.replace(
+            config,
+            l1d=dataclasses.replace(config.l1d, size_bytes=16 * 1024),
+        )
+        assert profile_cache_key(spec, small_l1, **base) != reference
+
+    def test_service_key_varies(self):
+        config = SystemConfig.table1()
+        base = dict(cpu_model="mxs", invocations=30, warmup=6, seed=1)
+        reference = service_cache_key("read", config, **base)
+        assert service_cache_key("write", config, **base) != reference
+        assert service_cache_key(
+            "read", config, **{**base, "invocations": 60}
+        ) != reference
+
+
+class TestEncodeDecodeRoundTrip:
+    def test_profile_round_trip_reproduces_totals(self):
+        sw = SoftWatt(window_instructions=WINDOW, seed=1, use_cache=False)
+        spec = benchmark("jess")
+        original = sw.profile(spec)
+        # Through JSON, as the on-disk cache stores it.
+        payload = json.loads(json.dumps(encode_profile(original)))
+        restored = decode_profile(payload, spec=spec, config=sw.config)
+        for name, phase in original.phases.items():
+            agg = phase.aggregate
+            restored_agg = restored.phases[name].aggregate
+            assert restored_agg.cycles == agg.cycles
+            assert restored_agg.instructions == agg.instructions
+            assert restored_agg.traps == agg.traps
+            assert (restored_agg.total_counters().total_events()
+                    == agg.total_counters().total_events())
+            assert restored.phases[name].invocations == phase.invocations
+        assert restored.idle.stats.cycles == original.idle.stats.cycles
+
+
+class TestPersistentCache:
+    def test_warm_cache_skips_detailed_simulation(self, tmp_path):
+        cold = make_sw(tmp_path)
+        result_cold = cold.run("jess", disk=2)
+        assert cold.profiler.detailed_runs > 0
+        assert cold.cache.stats.stores > 0
+
+        # A fresh instance (fresh process in real use) with the same
+        # parameters must serve everything from disk.
+        warm = make_sw(tmp_path)
+        result_warm = warm.run("jess", disk=2)
+        assert warm.profiler.detailed_runs == 0
+        assert warm.cache.stats.misses == 0
+        assert result_warm.total_energy_j == result_cold.total_energy_j
+        assert result_warm.idle_cycles == result_cold.idle_cycles
+        assert (result_warm.timeline.duration_s
+                == result_cold.timeline.duration_s)
+
+    def test_from_env(self, tmp_path, monkeypatch):
+        monkeypatch.delenv(CACHE_DIR_ENV, raising=False)
+        assert ProfileCache.from_env() is None
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        cache = ProfileCache.from_env()
+        assert cache is not None and cache.directory == tmp_path
+
+    def test_use_cache_false_disables(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(CACHE_DIR_ENV, str(tmp_path))
+        assert make_sw(tmp_path, use_cache=False).cache is None
+
+    def test_mismatched_config_reprofiles(self, tmp_path):
+        make_sw(tmp_path).profile("jess")
+        small_l1 = dataclasses.replace(
+            SystemConfig.table1(),
+            l1d=dataclasses.replace(
+                SystemConfig.table1().l1d, size_bytes=16 * 1024
+            ),
+        )
+        other = make_sw(tmp_path, config=small_l1)
+        other.profile("jess")
+        # Different key -> clean re-profile, no crash, no false hit.
+        assert other.profiler.detailed_runs == 1
+
+    def test_model_version_mismatch_evicts_and_reprofiles(
+        self, tmp_path, monkeypatch
+    ):
+        make_sw(tmp_path).profile("jess")
+        entries = list(tmp_path.glob("*.json"))
+        assert entries
+        # A model-version bump changes every cache key, so the old
+        # entries can never be served again: the lookup misses, the
+        # benchmark is cleanly re-profiled, and evict_stale sweeps the
+        # now-unreachable old-version files.
+        monkeypatch.setattr(checkpoint, "MODEL_VERSION", MODEL_VERSION + 1)
+        stale = make_sw(tmp_path)
+        stale.profile("jess")
+        assert stale.profiler.detailed_runs == 1
+        assert stale.cache.evict_stale() == len(entries)
+
+    def test_corrupt_entry_evicted_and_reprofiled(self, tmp_path):
+        sw = make_sw(tmp_path)
+        sw.profile("jess")
+        for path in tmp_path.glob("*.json"):
+            path.write_text("{ not json")
+        fresh = make_sw(tmp_path)
+        fresh.profile("jess")
+        assert fresh.profiler.detailed_runs == 1
+        assert fresh.cache.stats.evictions >= 1
+
+    def test_evict_stale_sweeps_old_versions(self, tmp_path):
+        sw = make_sw(tmp_path)
+        sw.profile("jess")
+        good = len(list(tmp_path.glob("*.json")))
+        (tmp_path / "deadbeef.json").write_text(
+            json.dumps({"kind": "benchmark", "model_version": MODEL_VERSION - 1,
+                        "profile": {}})
+        )
+        (tmp_path / "torn.json").write_text("{")
+        assert ProfileCache(tmp_path).evict_stale() == 2
+        assert len(list(tmp_path.glob("*.json"))) == good
+
+    def test_readonly_cache_dir_does_not_break_profiling(self, tmp_path):
+        missing = tmp_path / "no-such" / "nested"
+        sw = SoftWatt(window_instructions=WINDOW, seed=1, cache_dir=missing)
+        profile = sw.profile("jess")
+        assert profile.phases  # profiling itself unaffected
