@@ -8,7 +8,6 @@
   made self-tuning in the spirit of the adaptive policies it cites).
 """
 
-import pytest
 from conftest import print_header
 
 from repro.disk import AdaptiveSpinDownDisk, PowerManagedDisk

@@ -9,7 +9,9 @@ the lowest of the active modes; busy-wait idle still burns real power.
 from conftest import print_header
 
 from repro.kernel import ExecutionMode
-from repro.power import CATEGORIES
+from repro.power import REGISTRY
+
+CATEGORIES = REGISTRY.counter_categories
 
 MODES = (ExecutionMode.USER, ExecutionMode.KERNEL, ExecutionMode.SYNC,
          ExecutionMode.IDLE)

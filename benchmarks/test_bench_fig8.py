@@ -13,7 +13,9 @@ averaged over the suite.
 
 from conftest import print_header
 
-from repro.power import CATEGORIES
+from repro.power import REGISTRY
+
+CATEGORIES = REGISTRY.counter_categories
 
 FIGURE8_SERVICES = ("utlb", "read", "demand_zero", "cacheflush")
 

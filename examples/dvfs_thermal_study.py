@@ -18,8 +18,7 @@ study runs a benchmark once and then answers, in post-processing:
 import sys
 
 from repro import SoftWatt
-from repro.power import ThermalModel, operating_point, sweep
-from repro.power.dvfs import evaluate_at
+from repro.power import ThermalModel, sweep
 
 
 def main() -> None:

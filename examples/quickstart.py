@@ -14,7 +14,6 @@ import sys
 
 from repro import SoftWatt
 from repro.core.report import MODE_ORDER
-from repro.power import CATEGORIES
 
 
 def main() -> None:
@@ -44,7 +43,7 @@ def main() -> None:
     print("\nOverall power budget (Figure 5 shape):")
     budget = result.power_budget()
     shares = result.power_budget_shares()
-    for category in list(CATEGORIES) + ["disk"]:
+    for category in budget:  # registry legend order, disk included
         print(f"  {category:10s} {budget[category]:6.2f} W  "
               f"{shares[category]:5.1f}%")
 

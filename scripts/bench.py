@@ -110,9 +110,32 @@ def main() -> int:
         ).run_suite(workers=1),
         1,
     )
-    fingerprint = _suite_fingerprint(serial.pop("_result"))
+    results = serial.pop("_result")
+    fingerprint = _suite_fingerprint(results)
     report["suite_serial_cold"] = serial
     print(f"suite cold serial: {serial['best_s']:.3f} s")
+
+    # Accounting stage in isolation: registry evaluation + ledger
+    # rollups over the already-recorded logs (the simulate->count half
+    # is excluded).  Tracks the PowerComponent-registry overhead.
+    from repro.stats.postprocess import total_energy_j
+
+    def _account():
+        return [
+            (result.energy_ledger().total_j,
+             total_energy_j(result.timeline.log, result.model))
+            for result in results.values()
+        ]
+
+    accounting = _time(_account, max(3, args.repeats))
+    accounting.pop("_result")
+    accounting["log_records"] = sum(
+        len(result.timeline.log) for result in results.values()
+    )
+    report["accounting_stage"] = accounting
+    print(f"accounting stage (ledger evaluation over "
+          f"{accounting['log_records']} log records + 6 run ledgers): "
+          f"{accounting['best_s']:.3f} s")
 
     parallel = _time(
         lambda: SoftWatt(

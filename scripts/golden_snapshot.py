@@ -1,0 +1,79 @@
+#!/usr/bin/env python
+"""Record the golden energy-accounting snapshot used by the regression test.
+
+Runs the six-benchmark suite under both CPU models and writes every
+per-mode energy, the per-category power budget (disk included), and the
+run totals to ``tests/data/golden_energy.json``.  JSON floats round-trip
+exactly through ``repr``, so the regression test can assert bit-identical
+values — any change to the floating-point evaluation order of the
+accounting pipeline shows up as a hard failure.
+
+Regenerate only when an *intentional* numerical change lands::
+
+    PYTHONPATH=src python scripts/golden_snapshot.py
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.core.softwatt import SoftWatt  # noqa: E402
+from repro.workloads.specjvm98 import BENCHMARK_NAMES  # noqa: E402
+
+WINDOW = 6_000
+SEED = 3
+DISK = 1
+CPU_MODELS = ("mxs", "mipsy")
+
+DEFAULT_OUT = pathlib.Path(__file__).resolve().parent.parent / (
+    "tests/data/golden_energy.json"
+)
+
+
+def snapshot() -> dict:
+    document: dict = {
+        "window_instructions": WINDOW,
+        "seed": SEED,
+        "disk": DISK,
+        "benchmarks": {},
+    }
+    for cpu_model in CPU_MODELS:
+        softwatt = SoftWatt(
+            cpu_model=cpu_model, window_instructions=WINDOW, seed=SEED,
+            use_cache=False,
+        )
+        for name in BENCHMARK_NAMES:
+            result = softwatt.run(name, disk=DISK)
+            modes = result.mode_breakdown()
+            document["benchmarks"][f"{cpu_model}/{name}"] = {
+                "mode_energy_j": {
+                    mode.value: row.energy_j for mode, row in modes.items()
+                },
+                "budget_w": result.power_budget(),
+                "total_energy_j": result.total_energy_j,
+                "disk_energy_j": result.disk_energy_j,
+            }
+            print(f"{cpu_model}/{name}: {result.total_energy_j!r} J")
+    return document
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default=str(DEFAULT_OUT))
+    args = parser.parse_args()
+    document = snapshot()
+    out = pathlib.Path(args.out)
+    out.parent.mkdir(parents=True, exist_ok=True)
+    out.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    print(f"golden snapshot written to {out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -21,7 +21,6 @@ from repro.config.diskcfg import DiskPowerPolicy
 from repro.core.report import MODE_ORDER, BenchmarkResult
 from repro.core.softwatt import SoftWatt
 from repro.kernel.modes import KERNEL_SERVICES
-from repro.power.processor import CATEGORIES
 from repro.workloads.specjvm98 import BENCHMARK_NAMES
 
 
@@ -86,7 +85,7 @@ def _print_report(result: BenchmarkResult) -> None:
     print("\npower budget:")
     budget = result.power_budget()
     shares = result.power_budget_shares()
-    for name in list(CATEGORIES) + ["disk"]:
+    for name in budget:  # registry legend order, disk included
         print(f"  {name:10s} {budget[name]:6.2f} W  {shares[name]:5.1f}%")
 
 
@@ -113,7 +112,29 @@ def cmd_run(args: argparse.Namespace) -> int:
 
         write_trace_csv(result.trace, args.export_trace)
         print(f"trace written to {args.export_trace}")
+    if args.export_budget:
+        from repro.stats.export import write_ledger_json
+
+        write_ledger_json(result.energy_ledger(), args.export_budget,
+                          seconds=result.timeline.duration_s)
+        print(f"energy ledger written to {args.export_budget}")
     _maybe_save(softwatt, args)
+    return 0
+
+
+def cmd_components(args: argparse.Namespace) -> int:
+    """List the PowerComponent registry (the accounting schema)."""
+    from repro.power.registry import REGISTRY
+
+    print(f"{'component':10s} {'category':10s} counters")
+    for component in REGISTRY:
+        counters = (
+            ", ".join(component.counters)
+            if component.counters
+            else "(integrated during simulation)"
+        )
+        print(f"{component.name:10s} {component.category:10s} {counters}")
+    print(f"\ncategories (report order): {', '.join(REGISTRY.categories)}")
     return 0
 
 
@@ -258,8 +279,14 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the simulation log as CSV")
     p.add_argument("--export-trace", metavar="CSV",
                    help="write the power trace as CSV")
+    p.add_argument("--export-budget", metavar="JSON",
+                   help="write the full-run energy ledger as JSON")
     _add_common(p)
     p.set_defaults(func=cmd_run)
+
+    p = sub.add_parser("components",
+                       help="list the power-component registry")
+    p.set_defaults(func=cmd_components)
 
     p = sub.add_parser("suite", help="run all six benchmarks")
     p.add_argument("--disk", type=int, choices=(1, 2, 3, 4), default=1)

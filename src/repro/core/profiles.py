@@ -298,13 +298,12 @@ class Profiler:
                 continue
             run_cycles = max(1, stats.cycles)
             counters = stats.total_counters()
-            energies_by_cat = model.energy_by_category(counters, run_cycles)
-            total = sum(energies_by_cat.values())
+            ledger = model.ledger(counters, run_cycles)
             cycles.append(float(run_cycles))
-            energies.append(total)
+            energies.append(ledger.total_j)
             counter_totals.add(counters)
             instruction_total += stats.instructions
-            for name, value in energies_by_cat.items():
+            for name, value in ledger.categories.items():
                 category_totals[name] = category_totals.get(name, 0.0) + value
         mean_categories = {
             name: value / invocations for name, value in category_totals.items()

@@ -13,7 +13,9 @@ import dataclasses
 
 from repro.core.timeline import TimelineResult
 from repro.kernel.modes import ExecutionMode
-from repro.power.processor import CATEGORIES, ProcessorPowerModel
+from repro.power.ledger import EnergyLedger
+from repro.power.processor import ProcessorPowerModel
+from repro.power.registry import REGISTRY
 from repro.stats.postprocess import PowerTrace
 
 MODE_ORDER = (
@@ -79,9 +81,7 @@ class BenchmarkResult:
             cycles = timeline.mode_cycles.get(mode, 0.0)
             counters = timeline.mode_counters[mode]
             if cycles >= 1.0:
-                energy = sum(
-                    self.model.energy_by_category(counters, int(cycles)).values()
-                )
+                energy = self.model.ledger(counters, int(cycles)).total_j
             else:
                 energy = 0.0
             energies[mode] = energy
@@ -104,12 +104,13 @@ class BenchmarkResult:
         for mode in MODE_ORDER:
             cycles = self.timeline.mode_cycles.get(mode, 0.0)
             if cycles < 1.0:
-                result[mode] = {name: 0.0 for name in CATEGORIES}
+                result[mode] = {
+                    name: 0.0 for name in REGISTRY.counter_categories
+                }
                 continue
             counters = self.timeline.mode_counters[mode]
-            energies = self.model.energy_by_category(counters, int(cycles))
-            seconds = cycles * cycle_time
-            result[mode] = {name: energies[name] / seconds for name in CATEGORIES}
+            ledger = self.model.ledger(counters, int(cycles))
+            result[mode] = ledger.category_power_w(cycles * cycle_time)
         return result
 
     # ------------------------------------------------------------------
@@ -147,7 +148,7 @@ class BenchmarkResult:
                 continue
             counters = timeline.label_counters[label]
             energy = (
-                sum(self.model.energy_by_category(counters, int(cycles)).values())
+                self.model.ledger(counters, int(cycles)).total_j
                 if cycles >= 1.0
                 else 0.0
             )
@@ -175,16 +176,14 @@ class BenchmarkResult:
     # Figures 5 and 7: the overall power budget
     # ------------------------------------------------------------------
 
+    def energy_ledger(self) -> EnergyLedger:
+        """The full-run ledger: every registry component plus the disk."""
+        return self.timeline.energy_ledger(self.model)
+
     def power_budget(self) -> dict[str, float]:
         """Average system power by category, *including the disk*."""
-        timeline = self.timeline
-        seconds = timeline.duration_s or 1.0
-        total_counters = self.timeline.log.total_counters()
-        cycles = int(self.timeline.log.total_cycles()) or 1
-        energies = self.model.energy_by_category(total_counters, cycles)
-        budget = {name: energies[name] / seconds for name in CATEGORIES}
-        budget["disk"] = timeline.disk.energy.energy_j / seconds
-        return budget
+        seconds = self.timeline.duration_s or 1.0
+        return self.energy_ledger().category_power_w(seconds)
 
     def power_budget_shares(self) -> dict[str, float]:
         """The Figure 5/7 pie: percentage share per category."""
@@ -199,13 +198,7 @@ class BenchmarkResult:
     @property
     def total_energy_j(self) -> float:
         """CPU + memory + disk energy of the run."""
-        cycles = int(self.timeline.log.total_cycles()) or 1
-        cpu = sum(
-            self.model.energy_by_category(
-                self.timeline.log.total_counters(), cycles
-            ).values()
-        )
-        return cpu + self.timeline.disk.energy.energy_j
+        return self.energy_ledger().total_j
 
     @property
     def disk_energy_j(self) -> float:

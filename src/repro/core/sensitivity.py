@@ -15,7 +15,7 @@ import dataclasses
 from typing import Callable
 
 from repro.config.diskcfg import DiskPowerPolicy
-from repro.config.system import CacheConfig, CoreConfig, SystemConfig
+from repro.config.system import CacheConfig, SystemConfig
 from repro.core.softwatt import SoftWatt
 
 
@@ -31,6 +31,8 @@ class SweepPoint:
     budget_shares: dict[str, float]
     kernel_share_pct: float = 0.0
     """Kernel mode's share of cycles at this point."""
+    component_energy_j: dict[str, float] = dataclasses.field(default_factory=dict)
+    """Per-PowerComponent joules (the full-run ledger, disk included)."""
 
     @property
     def energy_delay_product(self) -> float:
@@ -74,6 +76,7 @@ def _point(value, result) -> SweepPoint:
     from repro.kernel.modes import ExecutionMode
 
     modes = result.mode_breakdown()
+    ledger = result.energy_ledger()
     return SweepPoint(
         value=value,
         energy_j=result.total_energy_j,
@@ -82,6 +85,7 @@ def _point(value, result) -> SweepPoint:
         peak_power_w=result.peak_power_w,
         budget_shares=result.power_budget_shares(),
         kernel_share_pct=modes[ExecutionMode.KERNEL].cycles_pct,
+        component_energy_j=ledger.components,
     )
 
 

@@ -16,7 +16,6 @@ import io
 
 from repro.core.report import MODE_ORDER, BenchmarkResult
 from repro.kernel.modes import ExecutionMode
-from repro.power.processor import CATEGORIES
 from repro.workloads import paper_data
 
 _RULE = "-" * 70
@@ -104,7 +103,7 @@ def render_run(result: BenchmarkResult) -> str:
         else paper_data.FIGURE7_SHARES
     )
     out.write(f"{'category':10s} {'watts':>7s} {'share %':>8s} {'paper %':>8s}\n")
-    for name in list(CATEGORIES) + ["disk"]:
+    for name in budget:  # registry legend order, disk included
         paper_share = reference_shares.get(name)
         reference = f"{paper_share:.0f}" if paper_share else "-"
         out.write(f"{name:10s} {budget[name]:7.2f} {shares[name]:8.1f} "
@@ -141,7 +140,7 @@ def render_suite(results: dict[str, BenchmarkResult]) -> str:
     }
     total = sum(average.values())
     out.write(f"{'category':10s} {'watts':>7s} {'share %':>8s}\n")
-    for name in list(CATEGORIES) + ["disk"]:
+    for name in average:  # registry legend order, disk included
         out.write(f"{name:10s} {average[name]:7.2f} "
                   f"{average[name] / total * 100:8.1f}\n")
     return out.getvalue()

@@ -20,6 +20,7 @@ penalties serialise with execution in the paper's Section 4 study.
 from __future__ import annotations
 
 import dataclasses
+from typing import TYPE_CHECKING
 
 from repro.config.diskcfg import DiskPowerPolicy, disk_configuration
 from repro.core.profiles import (
@@ -32,6 +33,9 @@ from repro.disk.manager import PowerManagedDisk
 from repro.kernel.modes import ExecutionMode, mode_of_label
 from repro.stats.counters import AccessCounters
 from repro.stats.simlog import LogRecord, SimulationLog
+
+if TYPE_CHECKING:
+    from repro.power.ledger import EnergyLedger
 
 _EPS = 1e-9
 
@@ -85,6 +89,17 @@ class TimelineResult:
     def total_cycles(self) -> float:
         """All cycles in the run."""
         return sum(self.mode_cycles.values())
+
+    def energy_ledger(self, model) -> "EnergyLedger":
+        """The full-run :class:`~repro.power.ledger.EnergyLedger`.
+
+        Counter-driven components come from evaluating the registry
+        over the whole log; the disk — the one simulation-time
+        component — is attached with its event-exact integrated energy.
+        """
+        cycles = int(self.log.total_cycles()) or 1
+        ledger = model.ledger(self.log.total_counters(), cycles)
+        return ledger.with_component("disk", "disk", self.disk.energy.energy_j)
 
 
 def _dominant_mode(source: RunStats) -> ExecutionMode:

@@ -19,7 +19,6 @@ from __future__ import annotations
 
 from repro.config.diskcfg import (
     MK3003MAN_POWER_W,
-    SPINDOWN_TIME_S,
     SPINUP_TIME_S,
     DiskGeometry,
     DiskMode,

@@ -14,11 +14,18 @@ from repro.power.dvfs import (
 )
 from repro.power.thermal import ThermalModel, ThermalProfile
 from repro.power.functional import FunctionalUnitEnergyModel
+from repro.power.ledger import EnergyLedger
 from repro.power.memory_power import MemoryEnergyModel
 from repro.power.processor import (
-    CATEGORIES,
     ProcessorPowerModel,
     r10000_max_power,
+)
+from repro.power.registry import (
+    CATEGORIES,
+    POWER_COMPONENTS,
+    REGISTRY,
+    PowerComponent,
+    PowerRegistry,
 )
 
 __all__ = [
@@ -41,6 +48,11 @@ __all__ = [
     "FunctionalUnitEnergyModel",
     "MemoryEnergyModel",
     "CATEGORIES",
+    "EnergyLedger",
+    "POWER_COMPONENTS",
+    "PowerComponent",
+    "PowerRegistry",
+    "REGISTRY",
     "ProcessorPowerModel",
     "r10000_max_power",
 ]

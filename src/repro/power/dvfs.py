@@ -98,9 +98,7 @@ def evaluate_at(result, point: OperatingPoint) -> DVFSEvaluation:
 
     cycles = int(result.timeline.log.total_cycles()) or 1
     counters = result.timeline.log.total_counters()
-    cpu_energy = sum(
-        result.model.energy_by_category(counters, cycles).values()
-    ) * voltage_ratio
+    cpu_energy = result.model.ledger(counters, cycles).total_j * voltage_ratio
 
     busy_s = result.timeline.duration_s - result.timeline.idle_wait_s
     duration = busy_s * slowdown + result.timeline.idle_wait_s

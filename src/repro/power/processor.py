@@ -3,11 +3,16 @@
 Assembles the per-structure analytical models into SoftWatt's
 post-processing interface: given the access counters of any interval
 (a whole run, a sample window, one kernel-service invocation), return
-the energy of each reported category —
+an :class:`~repro.power.ledger.EnergyLedger` — per-component joules
+rolled up into the reported categories: ``datapath`` (window, LSQ,
+rename, ROB, register file, result bus, ALUs, predictors, TLB — the
+units the paper clubs together in its graphs), ``l1i``, ``l1d``,
+``l2i``, ``l2d``, ``clock``, ``memory``.
 
-``datapath`` (window, LSQ, rename, ROB, register file, result bus,
-ALUs, predictors, TLB — the units the paper clubs together in its
-graphs), ``l1i``, ``l1d``, ``l2i``, ``l2d``, ``clock``, ``memory``.
+Which counters feed which unit, and the energy arithmetic itself, live
+in the declarative :data:`~repro.power.registry.REGISTRY`; this class
+owns the per-structure analytical models the registry rules draw
+energies from.
 
 Validation (Section 2): configured to estimate the maximum power of
 the R10000, SoftWatt reports 25.3 W against the 30 W datasheet figure;
@@ -21,21 +26,12 @@ from repro.config.technology import DEFAULT_TECHNOLOGY, Technology
 from repro.power.array import ArrayEnergyModel, CAMEnergyModel
 from repro.power.bitlines import CacheEnergyModel
 from repro.power.clocktree import ClockNetworkModel
-from repro.power.conditional import ClockedUnit, gating_factor
+from repro.power.conditional import ClockedUnit
 from repro.power.functional import FunctionalUnitEnergyModel
+from repro.power.ledger import EnergyLedger
 from repro.power.memory_power import MemoryEnergyModel
+from repro.power.registry import REGISTRY
 from repro.stats.counters import AccessCounters
-
-#: Categories reported by the model, in the paper's legend order.
-CATEGORIES: tuple[str, ...] = (
-    "datapath",
-    "l1d",
-    "l2d",
-    "l1i",
-    "l2i",
-    "clock",
-    "memory",
-)
 
 PIPELINE_LATCH_BITS = 4 * 6 * 200
 """Front/back-end pipeline latches: ~200 bits per slot, 4-wide, 6 deep."""
@@ -153,72 +149,26 @@ class ProcessorPowerModel:
     # Interval energy
     # ------------------------------------------------------------------
 
+    def ledger(self, counters: AccessCounters, cycles: int) -> EnergyLedger:
+        """Evaluate the component registry over an interval."""
+        return REGISTRY.evaluate(self, counters, cycles)
+
     def energy_by_category(
         self, counters: AccessCounters, cycles: int
     ) -> dict[str, float]:
         """Energy in joules per reported category over an interval."""
-        if cycles <= 0:
-            raise ValueError(f"cycles must be positive, got {cycles}")
-        c = counters
-
-        # Caches: reads and writes blended from the observed mix.
-        data_writes = min(c.stores, c.l1d_access)
-        l1d_energy = (c.l1d_access - data_writes) * self.l1d.read_energy_j() + (
-            data_writes * self.l1d.write_energy_j()
-        )
-        l1i_energy = c.l1i_access * self.l1i.read_energy_j()
-        l2i_energy = c.l2i_access * self.l2.read_energy_j()
-        l2d_energy = c.l2d_access * self.l2.access_energy_j(write_fraction=0.3)
-
-        datapath = (
-            c.tlb_access * self.tlb.search_energy_j()
-            + c.tlb_miss * self.tlb.write_energy_j()
-            + c.regfile_read * self.regfile.access_energy_j()
-            + c.regfile_write * self.regfile.access_energy_j(write=True)
-            + c.window_dispatch * self.window_array.access_energy_j(write=True)
-            + c.window_issue * self.window_array.access_energy_j()
-            + c.window_wakeup * self.wakeup_cam.search_energy_j()
-            + c.lsq_access * self.lsq.search_energy_j()
-            + c.rename_access
-            * (self.rename.access_energy_j() + self.rename.access_energy_j(write=True))
-            / 2.0
-            + c.rob_access * self.rob.access_energy_j(write=True) * 0.6
-            + c.bpred_access * self.bht.access_energy_j()
-            + c.btb_access * self.btb.access_energy_j()
-            + c.ras_access * self.ras.access_energy_j()
-            + c.ialu_access * self.fus.ialu_energy_j()
-            + c.imul_access * self.fus.imul_energy_j()
-            + c.falu_access * self.fus.falu_energy_j()
-            + c.fmul_access * self.fus.fmul_energy_j()
-            + c.resultbus_access * self.fus.result_bus_energy_j()
-        )
-
-        gate = gating_factor(counters, cycles, self.clocked_units)
-        clock_energy = cycles * self.clock.energy_per_cycle_j(gating_factor=gate)
-
-        memory_energy = self.memory.energy_j(c.mem_access, cycles)
-
-        return {
-            "datapath": datapath,
-            "l1d": l1d_energy,
-            "l2d": l2d_energy,
-            "l1i": l1i_energy,
-            "l2i": l2i_energy,
-            "clock": clock_energy,
-            "memory": memory_energy,
-        }
+        return self.ledger(counters, cycles).categories
 
     def total_energy_j(self, counters: AccessCounters, cycles: int) -> float:
         """Total CPU + memory-hierarchy energy over an interval."""
-        return sum(self.energy_by_category(counters, cycles).values())
+        return self.ledger(counters, cycles).total_j
 
     def average_power_w(
         self, counters: AccessCounters, cycles: int
     ) -> dict[str, float]:
         """Average power in watts per category over an interval."""
-        energies = self.energy_by_category(counters, cycles)
         seconds = cycles * self.technology.cycle_time_s
-        return {name: value / seconds for name, value in energies.items()}
+        return self.ledger(counters, cycles).category_power_w(seconds)
 
     # ------------------------------------------------------------------
     # Validation (Section 2)
@@ -261,9 +211,11 @@ class ProcessorPowerModel:
         """
         cycles = 1_000_000
         counters = self.max_power_counters(cycles)
-        energies = self.energy_by_category(counters, cycles)
+        ledger = self.ledger(counters, cycles)
         seconds = cycles * self.technology.cycle_time_s
-        on_chip = sum(value for name, value in energies.items() if name != "memory")
+        on_chip = sum(
+            value for name, value in ledger.categories.items() if name != "memory"
+        )
         return on_chip / seconds
 
 

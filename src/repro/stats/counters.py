@@ -52,6 +52,29 @@ COUNTER_FIELDS: tuple[str, ...] = (
     "stores",
 )
 
+_FIELD_SET = frozenset(COUNTER_FIELDS)
+
+
+class UnknownCounterError(KeyError, AttributeError):
+    """A counter name that is not one of :data:`COUNTER_FIELDS`.
+
+    Subclasses both ``KeyError`` (mapping-style access) and
+    ``AttributeError`` (attribute-style access) so either idiom can
+    catch it; the message always names the offender and the valid set
+    instead of silently reading 0.
+    """
+
+    def __str__(self) -> str:  # KeyError would repr() the message
+        return self.args[0] if self.args else ""
+
+
+def _unknown_counter(name: str, context: str = "") -> UnknownCounterError:
+    where = f" {context}" if context else ""
+    return UnknownCounterError(
+        f"unknown counter {name!r}{where}; valid counters: "
+        f"{', '.join(COUNTER_FIELDS)}"
+    )
+
 
 class AccessCounters:
     """A bundle of monotonically-increasing event counts."""
@@ -62,8 +85,8 @@ class AccessCounters:
         for field in COUNTER_FIELDS:
             setattr(self, field, 0)
         for name, value in initial.items():
-            if name not in COUNTER_FIELDS:
-                raise AttributeError(f"unknown counter {name!r}")
+            if name not in _FIELD_SET:
+                raise _unknown_counter(name)
             if value < 0:
                 raise ValueError(f"counter {name} cannot be negative")
             setattr(self, name, value)
@@ -89,6 +112,18 @@ class AccessCounters:
                 raise ValueError(f"counter {field} went backwards")
             setattr(diff, field, value)
         return diff
+
+    def get(self, name: str) -> int:
+        """Counter value by name.
+
+        Unlike ``as_dict().get(name, 0)``, an unknown name raises
+        :class:`UnknownCounterError` instead of silently reading 0.
+        """
+        if name not in _FIELD_SET:
+            raise _unknown_counter(name)
+        return getattr(self, name)
+
+    __getitem__ = get
 
     def as_dict(self) -> dict[str, int]:
         """A plain-dict snapshot (for logs and reports)."""

@@ -12,11 +12,15 @@ from __future__ import annotations
 import csv
 import json
 import pathlib
+from typing import TYPE_CHECKING
 
 from repro.kernel.modes import ExecutionMode
 from repro.stats.counters import COUNTER_FIELDS, AccessCounters
 from repro.stats.postprocess import PowerTrace
 from repro.stats.simlog import LogRecord, SimulationLog
+
+if TYPE_CHECKING:
+    from repro.power.ledger import EnergyLedger
 
 LOG_SCHEMA_VERSION = 1
 
@@ -94,8 +98,11 @@ def read_log_json(path: str | pathlib.Path) -> SimulationLog:
 
 def write_trace_csv(trace: PowerTrace, path: str | pathlib.Path) -> None:
     """Write the power trace: one row per interval, one column per
-    category plus the disk and the system total."""
-    categories = sorted(trace.category_w)
+    category plus the disk and the system total.
+
+    Columns follow the registry's report order (the order the trace's
+    category series were built in)."""
+    categories = list(trace.category_w)
     totals = trace.total_with_disk_w
     with open(path, "w", newline="") as handle:
         writer = csv.writer(handle)
@@ -109,3 +116,46 @@ def write_trace_csv(trace: PowerTrace, path: str | pathlib.Path) -> None:
                     totals[index],
                 ]
             )
+
+
+LEDGER_SCHEMA_VERSION = 1
+
+
+def write_ledger_json(
+    ledger: "EnergyLedger",
+    path: str | pathlib.Path,
+    *,
+    seconds: float | None = None,
+) -> None:
+    """Write an :class:`~repro.power.ledger.EnergyLedger` as JSON.
+
+    Per-component and per-category joules in registry order, plus the
+    component→category mapping; pass ``seconds`` to also record the
+    average per-category watts over that interval.
+    """
+    document: dict = {
+        "version": LEDGER_SCHEMA_VERSION,
+        "component_j": ledger.components,
+        "component_category": {
+            name: ledger.category_of(name) for name in ledger.components
+        },
+        "category_j": ledger.categories,
+        "total_j": ledger.total_j,
+    }
+    if seconds is not None:
+        document["seconds"] = seconds
+        document["category_w"] = ledger.category_power_w(seconds)
+    pathlib.Path(path).write_text(json.dumps(document, indent=2) + "\n")
+
+
+def read_ledger_json(path: str | pathlib.Path) -> "EnergyLedger":
+    """Load a ledger written by :func:`write_ledger_json`."""
+    from repro.power.ledger import EnergyLedger
+
+    document = json.loads(pathlib.Path(path).read_text())
+    if document.get("version") != LEDGER_SCHEMA_VERSION:
+        raise ValueError(
+            f"ledger schema version {document.get('version')!r} is not "
+            f"{LEDGER_SCHEMA_VERSION}"
+        )
+    return EnergyLedger(document["component_j"], document["component_category"])

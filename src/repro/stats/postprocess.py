@@ -10,7 +10,8 @@ from __future__ import annotations
 
 import dataclasses
 
-from repro.power.processor import CATEGORIES, ProcessorPowerModel
+from repro.power.processor import ProcessorPowerModel
+from repro.power.registry import REGISTRY
 from repro.stats.simlog import SimulationLog
 
 
@@ -65,7 +66,9 @@ def compute_power_trace(
     the disk series is zero.
     """
     times: list[float] = []
-    category_w: dict[str, list[float]] = {name: [] for name in CATEGORIES}
+    category_w: dict[str, list[float]] = {
+        name: [] for name in REGISTRY.counter_categories
+    }
     if disk_power_w is not None and len(disk_power_w) != len(log):
         raise ValueError(
             f"disk series has {len(disk_power_w)} entries for {len(log)} records"
@@ -74,10 +77,13 @@ def compute_power_trace(
         times.append((record.start_s + record.end_s) / 2.0)
         duration = record.duration_s
         cycles = max(1, int(record.cycles))
-        energies = model.energy_by_category(record.counters, cycles)
-        for name in CATEGORIES:
-            watts = energies[name] / duration if duration > 0 else 0.0
-            category_w[name].append(watts)
+        ledger = model.ledger(record.counters, cycles)
+        if duration > 0:
+            for name, watts in ledger.category_power_w(duration).items():
+                category_w[name].append(watts)
+        else:
+            for series in category_w.values():
+                series.append(0.0)
     disk = list(disk_power_w) if disk_power_w is not None else [0.0] * len(log)
     return PowerTrace(times_s=times, category_w=category_w, disk_w=disk)
 
@@ -87,5 +93,5 @@ def total_energy_j(log: SimulationLog, model: ProcessorPowerModel) -> float:
     energy = 0.0
     for record in log:
         cycles = max(1, int(record.cycles))
-        energy += sum(model.energy_by_category(record.counters, cycles).values())
+        energy += model.ledger(record.counters, cycles).total_j
     return energy

@@ -1,7 +1,5 @@
 """Tests for the configuration package (Table 1, technology, disk)."""
 
-import dataclasses
-
 import pytest
 
 from repro.config import (

@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro import SoftWatt, disk_configuration
+from repro import SoftWatt
 from repro.config import SystemConfig
 from repro.core import Profiler, TimelineSimulator, disk_power_series
 from repro.kernel import ExecutionMode

@@ -10,7 +10,6 @@ from repro.isa import (
     OpClass,
     SyntheticCodeGenerator,
     counted_loop,
-    take,
 )
 from repro.kernel import Kernel, idle_loop
 from repro.mem import KSEG_BASE, MemoryHierarchy

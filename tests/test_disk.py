@@ -4,7 +4,6 @@ import pytest
 from hypothesis import given, settings, strategies as st
 
 from repro.config import (
-    DiskGeometry,
     DiskMode,
     MK3003MAN_POWER_W,
     SPINDOWN_TIME_S,

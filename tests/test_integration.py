@@ -8,7 +8,7 @@ from hypothesis import given, settings, strategies as st
 from repro import SoftWatt
 from repro.core import Profiler, TimelineSimulator
 from repro.kernel import ExecutionMode
-from repro.workloads import BENCHMARK_NAMES, BenchmarkSpec, DiskEvent, benchmark
+from repro.workloads import BENCHMARK_NAMES, DiskEvent, benchmark
 
 WINDOW = 10_000
 

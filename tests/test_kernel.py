@@ -6,7 +6,7 @@ import pytest
 
 from repro.config import SystemConfig
 from repro.cpu import MXSProcessor
-from repro.isa import CodeSignature, Instruction, OpClass, SyntheticCodeGenerator
+from repro.isa import CodeSignature, OpClass, SyntheticCodeGenerator
 from repro.kernel import (
     EXTERNAL_SERVICES,
     INTERNAL_SERVICES,

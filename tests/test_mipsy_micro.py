@@ -1,7 +1,5 @@
 """Micro tests for the Mipsy in-order model and the trap interface."""
 
-import pytest
-
 from repro.config import SystemConfig
 from repro.cpu import InlineRefillClient, MipsyProcessor, UTLB_HANDLER_PC
 from repro.cpu.runstats import RunStats

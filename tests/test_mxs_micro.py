@@ -10,7 +10,7 @@ import dataclasses
 
 import pytest
 
-from repro.config import CoreConfig, SystemConfig
+from repro.config import SystemConfig
 from repro.cpu import MXSProcessor
 from repro.isa import Instruction, OpClass
 from repro.mem import KSEG_BASE

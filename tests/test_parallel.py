@@ -2,8 +2,6 @@
 
 import pickle
 
-import pytest
-
 from repro.config import SystemConfig
 from repro.core.softwatt import SoftWatt
 from repro.parallel import (

@@ -9,6 +9,7 @@ from repro.power import (
     CacheEnergyModel,
     CAMEnergyModel,
     CATEGORIES,
+    REGISTRY,
     ClockNetworkModel,
     ClockedUnit,
     FunctionalUnitEnergyModel,
@@ -236,7 +237,9 @@ class TestProcessorPowerModel:
     def test_all_categories_reported(self):
         counters = self.model.max_power_counters(1000)
         energies = self.model.energy_by_category(counters, 1000)
-        assert set(energies) == set(CATEGORIES)
+        assert set(energies) == set(REGISTRY.counter_categories)
+        # The full report order additionally carries the disk, last.
+        assert tuple(energies) + ("disk",) == CATEGORIES
         assert all(value >= 0 for value in energies.values())
 
     def test_energy_scales_with_activity(self):
@@ -258,7 +261,7 @@ class TestProcessorPowerModel:
         power = self.model.average_power_w(counters, 1000)
         energy = self.model.energy_by_category(counters, 1000)
         seconds = 1000 * self.config.technology.cycle_time_s
-        for name in CATEGORIES:
+        for name in REGISTRY.counter_categories:
             assert power[name] == pytest.approx(energy[name] / seconds)
 
     def test_rejects_zero_cycles(self):

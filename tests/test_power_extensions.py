@@ -1,7 +1,5 @@
 """Tests for the DVFS evaluation and the thermal model."""
 
-import math
-
 import pytest
 from hypothesis import given, settings, strategies as st
 

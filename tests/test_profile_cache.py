@@ -3,8 +3,6 @@
 import dataclasses
 import json
 
-import pytest
-
 from repro.config import SystemConfig
 from repro.core import checkpoint
 from repro.core.checkpoint import (

@@ -5,12 +5,11 @@ from hypothesis import given, settings, strategies as st
 
 from repro.config import (
     CacheConfig,
-    SystemConfig,
     Technology,
     disk_configuration,
 )
 from repro.disk import AdaptiveSpinDownDisk, PowerManagedDisk
-from repro.isa import Instruction, OpClass, copy_loop, spin_loop
+from repro.isa import OpClass, copy_loop, spin_loop
 from repro.power import ArrayEnergyModel, CacheEnergyModel, CAMEnergyModel
 from repro.stats import TimingTree
 

@@ -7,7 +7,6 @@ import pytest
 from repro.isa import CodeSignature
 from repro.workloads import (
     BENCHMARK_NAMES,
-    BenchmarkSpec,
     DiskEvent,
     JVMPhases,
     PhaseSpec,
