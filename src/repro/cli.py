@@ -18,10 +18,34 @@ import argparse
 import sys
 
 from repro.config.diskcfg import DiskPowerPolicy
+from repro.config.system import ConfigError
 from repro.core.report import MODE_ORDER, BenchmarkResult
 from repro.core.softwatt import SoftWatt
 from repro.kernel.modes import KERNEL_SERVICES
+from repro.resilience.faults import FaultPlan
+from repro.resilience.supervisor import TaskExecutionError
 from repro.workloads.specjvm98 import BENCHMARK_NAMES
+
+
+def _add_resilience(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--task-timeout", type=float, default=None,
+                        metavar="SECONDS",
+                        help="wall-clock budget per profiling task "
+                             "(enforced in pool mode; default: none)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retries per profiling task after its first "
+                             "attempt (default: 2)")
+    mode = parser.add_mutually_exclusive_group()
+    mode.add_argument("--strict", action="store_true",
+                      help="exit non-zero when anything degraded (retry, "
+                           "pool rebuild, serial fallback, cache quarantine)")
+    mode.add_argument("--best-effort", action="store_true",
+                      help="tolerate tasks that exhaust their retries: skip "
+                           "them, report them, keep going")
+    parser.add_argument("--fault-plan", metavar="SPEC",
+                        help="inject deterministic faults into the profiling "
+                             "stage, e.g. 'crash@1,hang@2x2' "
+                             "(KIND@INDEX[xATTEMPTS]; exercises recovery)")
 
 
 def _add_common(parser: argparse.ArgumentParser) -> None:
@@ -39,6 +63,38 @@ def _add_common(parser: argparse.ArgumentParser) -> None:
                              "(default: $REPRO_CACHE_DIR, or disabled)")
     parser.add_argument("--no-cache", action="store_true",
                         help="ignore the persistent profile cache")
+    _add_resilience(parser)
+
+
+def _resilience_kwargs(args: argparse.Namespace) -> dict:
+    fault_plan = None
+    if getattr(args, "fault_plan", None):
+        fault_plan = FaultPlan.parse(args.fault_plan, hang_seconds=3600.0)
+    return dict(
+        task_timeout=getattr(args, "task_timeout", None),
+        retries=getattr(args, "retries", 2),
+        best_effort=getattr(args, "best_effort", False),
+        fault_plan=fault_plan,
+    )
+
+
+def _finish(softwatt: SoftWatt, args: argparse.Namespace) -> int:
+    """Surface the run report; the command's exit code under --strict."""
+    report = softwatt.run_report
+    cache = softwatt.cache
+    if cache is not None and cache.stats.quarantined:
+        report.add_degradation(
+            "cache-quarantine",
+            f"{cache.stats.quarantined} corrupt/stale cache entries moved "
+            f"to {cache.quarantine_dir}",
+        )
+    if report.degraded:
+        print()
+        print(report.summary())
+        if getattr(args, "strict", False):
+            print("strict mode: degraded run, exiting non-zero")
+            return 1
+    return 0
 
 
 def _make_softwatt(args: argparse.Namespace) -> SoftWatt:
@@ -46,7 +102,8 @@ def _make_softwatt(args: argparse.Namespace) -> SoftWatt:
                         seed=args.seed,
                         workers=getattr(args, "workers", 1),
                         cache_dir=getattr(args, "cache_dir", None),
-                        use_cache=not getattr(args, "no_cache", False))
+                        use_cache=not getattr(args, "no_cache", False),
+                        **_resilience_kwargs(args))
     if args.checkpoint:
         try:
             softwatt.load_checkpoint(args.checkpoint)
@@ -119,7 +176,7 @@ def cmd_run(args: argparse.Namespace) -> int:
                           seconds=result.timeline.duration_s)
         print(f"energy ledger written to {args.export_budget}")
     _maybe_save(softwatt, args)
-    return 0
+    return _finish(softwatt, args)
 
 
 def cmd_components(args: argparse.Namespace) -> int:
@@ -140,11 +197,14 @@ def cmd_components(args: argparse.Namespace) -> int:
 
 def cmd_suite(args: argparse.Namespace) -> int:
     softwatt = _make_softwatt(args)
-    softwatt.profile_many(BENCHMARK_NAMES)
+    results = softwatt.run_suite(disk=args.disk, names=BENCHMARK_NAMES)
     print(f"{'benchmark':10s} {'dur s':>6s} {'energy J':>9s} {'disk J':>7s} "
           f"{'user%':>6s} {'kern%':>6s} {'idle%':>6s} {'disk%':>6s}")
     for name in BENCHMARK_NAMES:
-        result = softwatt.run(name, disk=args.disk)
+        if name not in results:  # best-effort casualty, see run report
+            print(f"{name:10s} {'SKIPPED':>6s}")
+            continue
+        result = results[name]
         modes = result.mode_breakdown()
         shares = result.power_budget_shares()
         user, kern, _sync, idle = (modes[m] for m in MODE_ORDER)
@@ -153,7 +213,7 @@ def cmd_suite(args: argparse.Namespace) -> int:
               f"{user.cycles_pct:6.1f} {kern.cycles_pct:6.1f} "
               f"{idle.cycles_pct:6.1f} {shares['disk']:6.1f}")
     _maybe_save(softwatt, args)
-    return 0
+    return _finish(softwatt, args)
 
 
 def cmd_services(args: argparse.Namespace) -> int:
@@ -168,7 +228,7 @@ def cmd_services(args: argparse.Namespace) -> int:
               f"{profile.mean_energy_j:11.4g} "
               f"{profile.coefficient_of_deviation:7.2f} "
               f"{profile.average_power_w(cycle_time):8.2f}")
-    return 0
+    return _finish(softwatt, args)
 
 
 def cmd_disk_study(args: argparse.Namespace) -> int:
@@ -191,7 +251,7 @@ def cmd_disk_study(args: argparse.Namespace) -> int:
                   f"{result.timeline.disk.state.spindowns:10d} "
                   f"{result.timeline.duration_s:7.2f}")
     _maybe_save(softwatt, args)
-    return 0
+    return _finish(softwatt, args)
 
 
 def cmd_report(args: argparse.Namespace) -> int:
@@ -213,7 +273,7 @@ def cmd_report(args: argparse.Namespace) -> int:
     else:
         print(text)
     _maybe_save(softwatt, args)
-    return 0
+    return _finish(softwatt, args)
 
 
 def cmd_sensitivity(args: argparse.Namespace) -> int:
@@ -247,14 +307,18 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
     softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
                         seed=args.seed, workers=args.workers,
                         cache_dir=args.cache_dir,
-                        use_cache=not args.no_cache)
+                        use_cache=not args.no_cache,
+                        **_resilience_kwargs(args))
     names = tuple(args.benchmarks or BENCHMARK_NAMES)
     print(f"profiling {', '.join(names)}...")
-    softwatt.profile_many(names)
+    profiles = softwatt.profile_many(names)
+    for name in names:
+        if name not in profiles:
+            print(f"  {name}: profiling FAILED, omitted from checkpoint")
     softwatt._cached_service_profiles()
     softwatt.save_checkpoint(args.out)
     print(f"checkpoint written to {args.out}")
-    return 0
+    return _finish(softwatt, args)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -333,16 +397,35 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--cache-dir", metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
+    _add_resilience(p)
     p.set_defaults(func=cmd_checkpoint)
 
     return parser
 
 
 def main(argv: list[str] | None = None) -> int:
-    """CLI entry point."""
+    """CLI entry point.
+
+    Exit codes: 0 clean (or tolerated degradations without ``--strict``),
+    1 degraded under ``--strict`` or a task failed after retries,
+    2 invalid system configuration or fault-plan spec.
+    """
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except ConfigError as error:
+        print(f"configuration error: {error}", file=sys.stderr)
+        return 2
+    except ValueError as error:
+        if "fault spec" in str(error):
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        raise
+    except TaskExecutionError as error:
+        print(f"error: {error}", file=sys.stderr)
+        print(error.report.summary(), file=sys.stderr)
+        return 1
 
 
 if __name__ == "__main__":

@@ -10,6 +10,7 @@ from repro.config.system import (
     MB,
     PAGE_SIZE,
     CacheConfig,
+    ConfigError,
     CoreConfig,
     MemoryConfig,
     SystemConfig,
@@ -40,6 +41,7 @@ __all__ = [
     "MB",
     "PAGE_SIZE",
     "CacheConfig",
+    "ConfigError",
     "CoreConfig",
     "MemoryConfig",
     "SystemConfig",

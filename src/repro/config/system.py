@@ -18,6 +18,23 @@ PAGE_SIZE = 4 * KB
 """Virtual-memory page size in bytes (IRIX on MIPS uses 4 KB pages)."""
 
 
+class ConfigError(ValueError):
+    """A system configuration that cannot be simulated meaningfully.
+
+    Raised by :meth:`SystemConfig.validate` *before* any simulation
+    starts, naming the offending field so a sweep script or CLI user
+    can fix exactly the right knob.
+    """
+
+    def __init__(self, field: str, message: str) -> None:
+        self.field = field
+        super().__init__(f"{field}: {message}")
+
+
+def _power_of_two(value: int) -> bool:
+    return value > 0 and value & (value - 1) == 0
+
+
 @dataclasses.dataclass(frozen=True)
 class CacheConfig:
     """Geometry of one cache level."""
@@ -166,6 +183,109 @@ class SystemConfig:
             tlb=TLBConfig(),
             memory=MemoryConfig(),
         )
+
+    def validate(self) -> "SystemConfig":
+        """Cross-field validation; raises :class:`ConfigError`.
+
+        The per-dataclass ``__post_init__`` checks catch locally absurd
+        values at construction; this method checks the constraints that
+        span fields (indexing geometry, hierarchy ordering, technology
+        sanity) and is wired into :class:`~repro.core.softwatt.SoftWatt`
+        and the CLI so a bad sweep value fails *before* any simulation
+        starts, naming the offending field.  Returns ``self`` so it can
+        be chained.
+        """
+        for attr in ("l1i", "l1d", "l2"):
+            cache: CacheConfig = getattr(self, attr)
+            if not _power_of_two(cache.line_bytes):
+                raise ConfigError(
+                    f"{attr}.line_bytes",
+                    f"cache line size must be a power of two, got "
+                    f"{cache.line_bytes}",
+                )
+            if not _power_of_two(cache.associativity):
+                raise ConfigError(
+                    f"{attr}.associativity",
+                    f"associativity must be a power of two, got "
+                    f"{cache.associativity}",
+                )
+            if cache.latency_cycles <= 0:
+                raise ConfigError(
+                    f"{attr}.latency_cycles",
+                    f"latency must be positive, got {cache.latency_cycles}",
+                )
+            if cache.line_bytes > cache.size_bytes:
+                raise ConfigError(
+                    f"{attr}.line_bytes",
+                    f"one line ({cache.line_bytes} B) larger than the cache "
+                    f"({cache.size_bytes} B)",
+                )
+        for attr in ("l1i", "l1d"):
+            l1: CacheConfig = getattr(self, attr)
+            if l1.line_bytes > self.l2.line_bytes:
+                raise ConfigError(
+                    f"{attr}.line_bytes",
+                    f"L1 line ({l1.line_bytes} B) wider than the L2 line "
+                    f"({self.l2.line_bytes} B) breaks inclusion",
+                )
+            if l1.latency_cycles >= self.l2.latency_cycles:
+                raise ConfigError(
+                    f"{attr}.latency_cycles",
+                    f"L1 latency ({l1.latency_cycles}) must be below the L2 "
+                    f"latency ({self.l2.latency_cycles})",
+                )
+        if self.l2.latency_cycles >= self.memory.access_latency_cycles:
+            raise ConfigError(
+                "l2.latency_cycles",
+                f"L2 latency ({self.l2.latency_cycles}) must be below the "
+                f"memory latency ({self.memory.access_latency_cycles})",
+            )
+        if self.tlb.entries <= 0:
+            raise ConfigError(
+                "tlb.entries", f"TLB needs at least one entry, got "
+                f"{self.tlb.entries}"
+            )
+        if not _power_of_two(self.tlb.page_bytes):
+            raise ConfigError(
+                "tlb.page_bytes",
+                f"page size must be a power of two, got {self.tlb.page_bytes}",
+            )
+        if self.tlb.hardware_refill_cycles <= 0:
+            raise ConfigError(
+                "tlb.hardware_refill_cycles",
+                f"refill latency must be positive, got "
+                f"{self.tlb.hardware_refill_cycles}",
+            )
+        if self.tlb.page_bytes > self.memory.size_bytes:
+            raise ConfigError(
+                "tlb.page_bytes",
+                f"one page ({self.tlb.page_bytes} B) larger than main memory "
+                f"({self.memory.size_bytes} B)",
+            )
+        technology = self.technology
+        if technology.vdd <= 0:
+            raise ConfigError(
+                "technology.vdd", f"supply voltage must be positive, got "
+                f"{technology.vdd}"
+            )
+        if technology.clock_hz <= 0:
+            raise ConfigError(
+                "technology.clock_hz",
+                f"clock frequency must be positive, got {technology.clock_hz}",
+            )
+        if technology.calibration < 0:
+            raise ConfigError(
+                "technology.calibration",
+                f"calibration scale would produce negative energies: "
+                f"{technology.calibration}",
+            )
+        if technology.feature_size_um <= 0:
+            raise ConfigError(
+                "technology.feature_size_um",
+                f"feature size must be positive, got "
+                f"{technology.feature_size_um}",
+            )
+        return self
 
     def single_issue(self) -> "SystemConfig":
         """The 1-wide MXS configuration used in Figure 3."""

@@ -40,6 +40,7 @@ from repro.config.system import SystemConfig
 from repro.cpu.branch import BranchStats
 from repro.cpu.runstats import LabelStats, RunStats
 from repro.stats.counters import AccessCounters
+from repro.stats.simlog import log_degradation
 from repro.workloads.specjvm98 import BenchmarkSpec, benchmark
 
 CHECKPOINT_VERSION = 1
@@ -55,6 +56,11 @@ CACHE_DIR_ENV = "REPRO_CACHE_DIR"
 """Environment variable naming the persistent profile-cache directory.
 The cache is disabled when it is unset (no surprise writes outside the
 working tree)."""
+
+QUARANTINE_SUBDIR = "quarantine"
+"""Corrupt or stale cache entries are *moved* here, not deleted: a
+reproducible corruption (torn write, bad disk, version skew) stays
+available for a bug report instead of silently vanishing."""
 
 
 class CheckpointError(RuntimeError):
@@ -270,6 +276,7 @@ class CacheStats:
     misses: int = 0
     stores: int = 0
     evictions: int = 0
+    quarantined: int = 0
 
 
 class ProfileCache:
@@ -278,13 +285,20 @@ class ProfileCache:
     One JSON file per entry, named by the cache key.  Entries whose
     model-version stamp no longer matches, or that cannot be decoded,
     are evicted on contact and reported as misses — the caller then
-    re-profiles cleanly.  Writes are atomic (tmp file + rename) so a
-    crashed or concurrent writer can never leave a torn entry.
+    re-profiles cleanly.  Evicted entries are quarantined under
+    ``<cache-dir>/quarantine/`` (with a logged warning) rather than
+    deleted, so reproducible corruption can be reported.  Writes are
+    atomic (tmp file + rename) so a crashed or concurrent writer can
+    never leave a torn entry.
     """
 
     def __init__(self, directory: str | pathlib.Path) -> None:
         self.directory = pathlib.Path(directory)
         self.stats = CacheStats()
+
+    @property
+    def quarantine_dir(self) -> pathlib.Path:
+        return self.directory / QUARANTINE_SUBDIR
 
     @classmethod
     def from_env(cls) -> "ProfileCache | None":
@@ -320,11 +334,36 @@ class ProfileCache:
 
     def _evict(self, path: pathlib.Path) -> None:
         self.stats.misses += 1
+        self._quarantine(path)
+
+    def _quarantine(self, path: pathlib.Path) -> None:
+        """Move a suspect entry aside (fall back to deleting it)."""
         self.stats.evictions += 1
         try:
-            path.unlink()
+            self.quarantine_dir.mkdir(parents=True, exist_ok=True)
+            destination = self.quarantine_dir / path.name
+            suffix = 0
+            while destination.exists():
+                suffix += 1
+                destination = self.quarantine_dir / f"{path.stem}.{suffix}{path.suffix}"
+            os.replace(path, destination)
         except OSError:
-            pass
+            # A cache that cannot quarantine (read-only, cross-device
+            # oddities) still must not serve the bad entry.
+            try:
+                path.unlink()
+            except OSError:
+                return
+            log_degradation(
+                f"cache-quarantine: deleted unreadable profile-cache entry "
+                f"{path.name} (quarantine unavailable)"
+            )
+            return
+        self.stats.quarantined += 1
+        log_degradation(
+            f"cache-quarantine: moved corrupt/stale profile-cache entry "
+            f"{path.name} to {destination} — please report if reproducible"
+        )
 
     def _write(self, key: str, document: dict) -> None:
         try:
@@ -396,11 +435,11 @@ class ProfileCache:
     # -- maintenance ----------------------------------------------------
 
     def evict_stale(self) -> int:
-        """Delete every entry with a stale model version or torn JSON.
+        """Quarantine every entry with a stale model version or torn JSON.
 
-        Returns the number of entries removed.  Entries written by a
-        *newer* model version are also removed — the stamp is an exact
-        match, not an ordering.
+        Returns the number of entries removed from the active cache.
+        Entries written by a *newer* model version are also removed —
+        the stamp is an exact match, not an ordering.
         """
         removed = 0
         if not self.directory.is_dir():
@@ -415,13 +454,16 @@ class ProfileCache:
             except (OSError, json.JSONDecodeError, UnicodeDecodeError):
                 stale = True
             if stale:
-                try:
-                    path.unlink()
+                self._quarantine(path)
+                if not path.exists():
                     removed += 1
-                    self.stats.evictions += 1
-                except OSError:
-                    pass
         return removed
+
+    def quarantined_entries(self) -> list[pathlib.Path]:
+        """The quarantined entry files, oldest name-order first."""
+        if not self.quarantine_dir.is_dir():
+            return []
+        return sorted(self.quarantine_dir.glob("*.json"))
 
 
 # ---------------------------------------------------------------------------

@@ -41,6 +41,8 @@ from repro.core.report import BenchmarkResult
 from repro.core.timeline import TimelineSimulator, disk_power_series
 from repro.kernel.modes import KERNEL_SERVICES
 from repro.power.processor import ProcessorPowerModel
+from repro.resilience.faults import FaultPlan
+from repro.resilience.runreport import ReportedMapping, RunReport
 from repro.stats.postprocess import compute_power_trace
 from repro.workloads.specjvm98 import BENCHMARK_NAMES, BenchmarkSpec, benchmark
 
@@ -70,12 +72,26 @@ class SoftWatt:
         workers: int = 1,
         cache_dir=None,
         use_cache: bool = True,
+        task_timeout: float | None = None,
+        retries: int = 2,
+        best_effort: bool = False,
+        fault_plan: FaultPlan | None = None,
     ) -> None:
-        self.config = config if config is not None else SystemConfig.table1()
+        self.config = (
+            config if config is not None else SystemConfig.table1()
+        ).validate()
         self.cpu_model = cpu_model
         self.sample_interval_s = sample_interval_s
         self.seed = seed
         self.workers = workers
+        self.task_timeout = task_timeout
+        self.retries = retries
+        self.best_effort = best_effort
+        self.fault_plan = fault_plan
+        self.run_report = RunReport()
+        """Accumulated across every supervised stage this instance ran;
+        per-call reports are attached to :meth:`profile_many`,
+        :meth:`run_suite`, and :meth:`service_profiles` results."""
         self.profiler = Profiler(
             self.config,
             cpu_model=cpu_model,
@@ -152,8 +168,10 @@ class SoftWatt:
         """
         workers = self.workers if workers is None else workers
         specs = [benchmark(name) if isinstance(name, str) else name for name in names]
+        report = RunReport()
         if workers <= 1:
-            return {spec.name: self.profile(spec) for spec in specs}
+            profiles = {spec.name: self.profile(spec) for spec in specs}
+            return self._attach_report(profiles, report)
 
         from repro.parallel import ProfileBenchmarkTask, profile_benchmarks
 
@@ -183,11 +201,34 @@ class SoftWatt:
             )
             for spec in pending
         ]
-        for spec, profile in zip(pending, profile_benchmarks(tasks, workers=workers)):
+        results = profile_benchmarks(
+            tasks, workers=workers, report=report, **self._supervision_kwargs()
+        )
+        for spec, profile in zip(pending, results):
+            if profile is None:  # best-effort casualty, recorded in report
+                continue
             self._profiles[spec.name] = profile
             if self.cache is not None:
                 self.cache.store_profile(self._profile_key(spec), profile)
-        return {spec.name: self._profiles[spec.name] for spec in specs}
+        profiles = {
+            spec.name: self._profiles[spec.name]
+            for spec in specs
+            if spec.name in self._profiles
+        }
+        return self._attach_report(profiles, report)
+
+    def _supervision_kwargs(self) -> dict:
+        return {
+            "task_timeout": self.task_timeout,
+            "retries": self.retries,
+            "best_effort": self.best_effort,
+            "fault_plan": self.fault_plan,
+        }
+
+    def _attach_report(self, data: dict, report: RunReport) -> ReportedMapping:
+        """Attach a per-call report and fold it into the session report."""
+        self.run_report.merge(report)
+        return ReportedMapping(data, report)
 
     # ------------------------------------------------------------------
     # Full runs
@@ -253,10 +294,17 @@ class SoftWatt:
         The expensive profiling stage fans out over ``workers``
         processes (default: the constructor's ``workers``); the cheap
         timeline/power stage then runs serially, so the results are
-        identical to a fully serial suite.
+        identical to a fully serial suite.  The returned mapping carries
+        the profiling stage's :class:`RunReport` as ``.report``; under
+        ``best_effort`` a benchmark whose profiling failed is absent
+        from the mapping (and recorded in the report) instead of
+        aborting the suite.
         """
-        self.profile_many(names, workers=workers)
-        return {name: self.run(name, disk=disk) for name in names}
+        profiles = self.profile_many(names, workers=workers)
+        results = {
+            name: self.run(name, disk=disk) for name in names if name in profiles
+        }
+        return ReportedMapping(results, profiles.report)
 
     # ------------------------------------------------------------------
     # Kernel-service characterisation (Section 3.3)
@@ -287,6 +335,7 @@ class SoftWatt:
         serial loop.
         """
         workers = self.workers if workers is None else workers
+        report = RunReport()
         profiles: dict[str, ServiceInvocationProfile] = {}
         pending: list[str] = []
         for service in services:
@@ -318,16 +367,28 @@ class SoftWatt:
                 )
                 for service in pending
             ]
-            for service, profile in zip(
-                pending, profile_services(tasks, workers=workers)
-            ):
-                profiles[service] = profile
+            results = profile_services(
+                tasks, workers=workers, report=report,
+                **self._supervision_kwargs(),
+            )
+            for service, profile in zip(pending, results):
+                if profile is not None:
+                    profiles[service] = profile
         if self.cache is not None:
             for service in pending:
-                self.cache.store_service(
-                    self._service_key(service, invocations), profiles[service]
-                )
-        return {service: profiles[service] for service in services}
+                if service in profiles:
+                    self.cache.store_service(
+                        self._service_key(service, invocations),
+                        profiles[service],
+                    )
+        return self._attach_report(
+            {
+                service: profiles[service]
+                for service in services
+                if service in profiles
+            },
+            report,
+        )
 
     def _cached_service_profiles(self) -> dict[str, ServiceInvocationProfile]:
         """Service profiles used by every timeline run (computed once)."""

@@ -10,8 +10,12 @@ a child needs to rebuild a :class:`~repro.core.profiles.Profiler` and
 produce a bit-identical result.
 
 ``workers <= 1`` (the default everywhere) never touches
-``multiprocessing`` — the serial path is the fallback, and it is also
-used automatically when the platform cannot fork or the pool breaks.
+``multiprocessing``.  The fan-out itself runs under the
+:mod:`repro.resilience` supervisor: per-task timeouts, bounded retries,
+and broken-pool recovery that requeues only the unfinished tasks —
+every deviation from the clean path is recorded in a
+:class:`~repro.resilience.runreport.RunReport` and logged through
+:func:`repro.stats.simlog.log_degradation`, never swallowed.
 """
 
 from __future__ import annotations
@@ -25,6 +29,9 @@ from repro.core.profiles import (
     Profiler,
     ServiceInvocationProfile,
 )
+from repro.resilience.faults import FaultPlan
+from repro.resilience.runreport import RunReport
+from repro.resilience.supervisor import SupervisorPolicy, supervised_map
 from repro.workloads.specjvm98 import BenchmarkSpec
 
 _T = TypeVar("_T")
@@ -36,28 +43,42 @@ def parallel_map(
     items: Sequence[_T],
     *,
     workers: int = 1,
+    task_timeout: float | None = None,
+    retries: int = 2,
+    best_effort: bool = False,
+    labels: Sequence[str] | None = None,
+    fault_plan: FaultPlan | None = None,
+    report: RunReport | None = None,
 ) -> list[_R]:
     """``[fn(item) for item in items]``, fanned out over ``workers``.
 
     Order of results matches the order of ``items`` regardless of
     completion order, so callers can zip them back deterministically.
-    Falls back to the serial path when the pool cannot be created or
-    dies (e.g. no ``fork`` support, resource limits).
+    Execution is supervised (see :mod:`repro.resilience.supervisor`):
+    a broken pool requeues only unfinished tasks, a task exceeding
+    ``task_timeout`` seconds is retried up to ``retries`` times, and a
+    platform without ``fork`` degrades to the serial path with a logged
+    degradation instead of a silent full re-run.  Pass ``report`` to
+    accumulate the run's :class:`RunReport`; with ``best_effort`` a
+    task that exhausts its retries yields ``None`` instead of raising
+    :class:`~repro.resilience.supervisor.TaskExecutionError`.
     """
-    items = list(items)
-    if workers <= 1 or len(items) <= 1:
-        return [fn(item) for item in items]
-    try:
-        import concurrent.futures
-        import multiprocessing
-
-        context = multiprocessing.get_context("fork")
-        with concurrent.futures.ProcessPoolExecutor(
-            max_workers=min(workers, len(items)), mp_context=context
-        ) as pool:
-            return list(pool.map(fn, items))
-    except (ValueError, OSError, ImportError):
-        return [fn(item) for item in items]
+    policy = SupervisorPolicy(
+        task_timeout_s=task_timeout,
+        retries=retries,
+        best_effort=best_effort,
+    )
+    results, run_report = supervised_map(
+        fn,
+        items,
+        workers=workers,
+        policy=policy,
+        labels=labels,
+        fault_plan=fault_plan,
+    )
+    if report is not None:
+        report.merge(run_report)
+    return results
 
 
 # ---------------------------------------------------------------------------
@@ -124,14 +145,30 @@ def run_profile_service_task(task: ProfileServiceTask) -> ServiceInvocationProfi
 
 
 def profile_benchmarks(
-    tasks: Iterable[ProfileBenchmarkTask], *, workers: int = 1
+    tasks: Iterable[ProfileBenchmarkTask], *, workers: int = 1, **supervision
 ) -> list[BenchmarkProfile]:
-    """Profile many benchmarks, fanning out when ``workers > 1``."""
-    return parallel_map(run_profile_benchmark_task, list(tasks), workers=workers)
+    """Profile many benchmarks, fanning out when ``workers > 1``.
+
+    ``supervision`` forwards to :func:`parallel_map` (``task_timeout``,
+    ``retries``, ``best_effort``, ``fault_plan``, ``report``).
+    """
+    tasks = list(tasks)
+    supervision.setdefault("labels", [task.spec.name for task in tasks])
+    return parallel_map(
+        run_profile_benchmark_task, tasks, workers=workers, **supervision
+    )
 
 
 def profile_services(
-    tasks: Iterable[ProfileServiceTask], *, workers: int = 1
+    tasks: Iterable[ProfileServiceTask], *, workers: int = 1, **supervision
 ) -> list[ServiceInvocationProfile]:
-    """Profile many kernel services, fanning out when ``workers > 1``."""
-    return parallel_map(run_profile_service_task, list(tasks), workers=workers)
+    """Profile many kernel services, fanning out when ``workers > 1``.
+
+    ``supervision`` forwards to :func:`parallel_map` (``task_timeout``,
+    ``retries``, ``best_effort``, ``fault_plan``, ``report``).
+    """
+    tasks = list(tasks)
+    supervision.setdefault("labels", [task.service for task in tasks])
+    return parallel_map(
+        run_profile_service_task, tasks, workers=workers, **supervision
+    )

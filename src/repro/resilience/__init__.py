@@ -1,0 +1,43 @@
+"""Fault-tolerant execution layer for SoftWatt simulation campaigns.
+
+``supervisor`` runs independent tasks under per-task timeouts, bounded
+deterministic retries, and ``BrokenProcessPool`` recovery; ``faults``
+injects crashes, hangs, errors, and file corruption at controlled,
+seeded points so every recovery path is testable; ``runreport`` is the
+structured outcome record attached to suite results and surfaced by the
+CLI (``--strict`` / ``--best-effort``).
+"""
+
+from repro.resilience.faults import (
+    FaultPlan,
+    FaultSpec,
+    InjectedFault,
+    corrupt_file,
+    truncate_file,
+)
+from repro.resilience.runreport import (
+    Degradation,
+    ReportedMapping,
+    RunReport,
+    TaskRecord,
+)
+from repro.resilience.supervisor import (
+    SupervisorPolicy,
+    TaskExecutionError,
+    supervised_map,
+)
+
+__all__ = [
+    "Degradation",
+    "FaultPlan",
+    "FaultSpec",
+    "InjectedFault",
+    "ReportedMapping",
+    "RunReport",
+    "SupervisorPolicy",
+    "TaskExecutionError",
+    "TaskRecord",
+    "corrupt_file",
+    "supervised_map",
+    "truncate_file",
+]

@@ -15,10 +15,37 @@ nothing finer.
 
 from __future__ import annotations
 
+import collections
 import dataclasses
+import logging
 
 from repro.kernel.modes import ExecutionMode
 from repro.stats.counters import AccessCounters
+
+SIM_LOGGER = logging.getLogger("repro.sim")
+"""Logger for simulation-infrastructure events (pool degradations,
+cache quarantines).  Silent by default under the stdlib's default
+configuration unless the host application configures logging; the
+structured :class:`~repro.resilience.runreport.RunReport` is the
+machine-readable channel for the same events."""
+
+_RECENT_DEGRADATIONS: collections.deque[str] = collections.deque(maxlen=128)
+
+
+def log_degradation(message: str) -> None:
+    """Record an execution-layer degradation instead of hiding it.
+
+    Emits a warning on :data:`SIM_LOGGER` and retains the message in a
+    bounded in-process buffer (:func:`recent_degradations`) so tests and
+    post-mortems can inspect what degraded without capturing logs.
+    """
+    SIM_LOGGER.warning(message)
+    _RECENT_DEGRADATIONS.append(message)
+
+
+def recent_degradations() -> tuple[str, ...]:
+    """The most recent degradation messages, oldest first."""
+    return tuple(_RECENT_DEGRADATIONS)
 
 
 @dataclasses.dataclass

@@ -2,8 +2,11 @@
 
 import pytest
 
+import dataclasses
+
 from repro.config import (
     CacheConfig,
+    ConfigError,
     CoreConfig,
     DiskGeometry,
     DiskMode,
@@ -206,3 +209,90 @@ class TestDiskConfig:
     def test_geometry_rejects_inverted_seek_curve(self):
         with pytest.raises(ValueError):
             DiskGeometry(min_seek_ms=20.0, avg_seek_ms=10.0, max_seek_ms=30.0)
+
+
+class TestValidate:
+    """Cross-field validation (`SystemConfig.validate`)."""
+
+    def test_table1_validates_and_chains(self):
+        config = SystemConfig.table1()
+        assert config.validate() is config
+
+    def test_non_power_of_two_associativity_names_the_field(self):
+        base = SystemConfig.table1()
+        # 768 KB / (128 B x 3 ways) = 2048 sets: constructible (every
+        # per-dataclass check passes) yet not meaningfully indexable.
+        bad = dataclasses.replace(
+            base,
+            l2=dataclasses.replace(
+                base.l2, size_bytes=768 * KB, associativity=3
+            ),
+        )
+        with pytest.raises(ConfigError) as info:
+            bad.validate()
+        assert info.value.field == "l2.associativity"
+        assert "power of two" in str(info.value)
+        assert isinstance(info.value, ValueError)
+
+    def test_inverted_hierarchy_latency_rejected(self):
+        base = SystemConfig.table1()
+        bad = dataclasses.replace(
+            base, l1d=dataclasses.replace(base.l1d, latency_cycles=8)
+        )
+        with pytest.raises(ConfigError) as info:
+            bad.validate()
+        assert info.value.field == "l1d.latency_cycles"
+
+    def test_l2_slower_than_memory_rejected(self):
+        base = SystemConfig.table1()
+        bad = dataclasses.replace(
+            base, l2=dataclasses.replace(base.l2, latency_cycles=60)
+        )
+        with pytest.raises(ConfigError) as info:
+            bad.validate()
+        assert info.value.field == "l2.latency_cycles"
+
+    def test_l1_line_wider_than_l2_line_rejected(self):
+        base = SystemConfig.table1()
+        bad = dataclasses.replace(
+            base, l1i=dataclasses.replace(base.l1i, line_bytes=256)
+        )
+        with pytest.raises(ConfigError) as info:
+            bad.validate()
+        assert info.value.field == "l1i.line_bytes"
+
+    def test_hardware_refill_latency_must_be_positive(self):
+        base = SystemConfig.table1()
+        bad = dataclasses.replace(
+            base, tlb=dataclasses.replace(base.tlb, hardware_refill_cycles=0)
+        )
+        with pytest.raises(ConfigError) as info:
+            bad.validate()
+        assert info.value.field == "tlb.hardware_refill_cycles"
+
+    def test_technology_sanity(self):
+        base = SystemConfig.table1()
+        for field, value in (
+            ("vdd", 0.0),
+            ("clock_hz", -1.0),
+            ("calibration", -0.5),
+            ("feature_size_um", 0.0),
+        ):
+            bad = dataclasses.replace(
+                base,
+                technology=dataclasses.replace(base.technology, **{field: value}),
+            )
+            with pytest.raises(ConfigError) as info:
+                bad.validate()
+            assert info.value.field == f"technology.{field}"
+
+    def test_softwatt_constructor_validates(self):
+        from repro.core.softwatt import SoftWatt
+
+        base = SystemConfig.table1()
+        bad = dataclasses.replace(
+            base,
+            l2=dataclasses.replace(base.l2, size_bytes=768 * KB, associativity=3),
+        )
+        with pytest.raises(ConfigError):
+            SoftWatt(bad, use_cache=False)

@@ -1,0 +1,386 @@
+"""Tests for the fault-tolerant simulation supervisor.
+
+The deterministic :class:`FaultPlan` harness injects crashes, hangs,
+errors, corrupt cache entries, and truncated checkpoints at controlled
+points, so every recovery path in ``repro.resilience`` runs in CI —
+including the regression proving that a recovered run stays
+bit-identical to a clean one (against ``tests/data/golden_energy.json``).
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.cli import main
+from repro.core.checkpoint import CheckpointError, load_checkpoint, save_checkpoint
+from repro.core.softwatt import SoftWatt
+from repro.resilience import (
+    FaultPlan,
+    FaultSpec,
+    RunReport,
+    SupervisorPolicy,
+    TaskExecutionError,
+    corrupt_file,
+    supervised_map,
+    truncate_file,
+)
+from repro.stats.simlog import recent_degradations
+
+GOLDEN_PATH = pathlib.Path(__file__).parent / "data" / "golden_energy.json"
+
+WINDOW = 4000
+
+
+def _double(value):
+    return 2 * value
+
+
+class TestFaultPlan:
+    def test_action_is_deterministic(self):
+        plan = FaultPlan(
+            specs=(FaultSpec("crash", 1), FaultSpec("error", 3, attempts=2))
+        )
+        for _ in range(3):
+            assert plan.action(1, 1) == "crash"
+            assert plan.action(1, 2) is None
+            assert plan.action(3, 2) == "error"
+            assert plan.action(3, 3) is None
+            assert plan.action(0, 1) is None
+
+    def test_parse(self):
+        plan = FaultPlan.parse("crash@1,hang@2x3, error@0")
+        assert plan.specs == (
+            FaultSpec("crash", 1),
+            FaultSpec("hang", 2, attempts=3),
+            FaultSpec("error", 0),
+        )
+
+    def test_parse_rejects_garbage(self):
+        with pytest.raises(ValueError, match="fault spec"):
+            FaultPlan.parse("zap@x")
+        with pytest.raises(ValueError, match="unknown fault kind"):
+            FaultPlan.parse("explode@1")
+
+    def test_corrupt_file_is_seeded(self, tmp_path):
+        a, b = tmp_path / "a", tmp_path / "b"
+        for path in (a, b):
+            path.write_bytes(b"x" * 64)
+            corrupt_file(path, seed=7)
+        assert a.read_bytes() == b.read_bytes() != b"x" * 64
+
+    def test_truncate_file(self, tmp_path):
+        path = tmp_path / "t"
+        path.write_bytes(b"y" * 64)
+        truncate_file(path, keep_bytes=8)
+        assert path.read_bytes() == b"y" * 8
+
+
+class TestPolicy:
+    def test_backoff_is_deterministic_and_exponential(self):
+        policy = SupervisorPolicy(backoff_base_s=0.1, backoff_factor=2.0)
+        assert policy.backoff_s(1) == 0.0
+        assert policy.backoff_s(2) == pytest.approx(0.1)
+        assert policy.backoff_s(3) == pytest.approx(0.2)
+        assert policy.backoff_s(4) == pytest.approx(0.4)
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            SupervisorPolicy(retries=-1)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(task_timeout_s=0.0)
+
+
+class TestSerialSupervision:
+    def test_plain_map(self):
+        results, report = supervised_map(_double, [1, 2, 3])
+        assert results == [2, 4, 6]
+        assert report.ok and len(report.completed) == 3
+
+    def test_error_fault_is_retried(self):
+        results, report = supervised_map(
+            _double, [5, 6], fault_plan=FaultPlan.error_at(1, attempts=2)
+        )
+        assert results == [10, 12]
+        records = {task.index: task for task in report.tasks}
+        assert records[0].attempts == 1
+        assert records[1].attempts == 3
+        assert report.ok  # retries recovered; nothing degraded
+
+    def test_retry_exhaustion_raises_with_report(self):
+        with pytest.raises(TaskExecutionError) as info:
+            supervised_map(
+                _double, [1, 2],
+                policy=SupervisorPolicy(retries=1),
+                fault_plan=FaultPlan.error_at(0, attempts=99),
+            )
+        report = info.value.report
+        assert [task.label for task in report.failed] == ["task-0"]
+        assert report.failed[0].attempts == 2
+
+    def test_best_effort_yields_none_slot(self):
+        results, report = supervised_map(
+            _double, [1, 2],
+            policy=SupervisorPolicy(retries=1, best_effort=True),
+            fault_plan=FaultPlan.error_at(0, attempts=99),
+        )
+        assert results == [None, 4]
+        assert [task.status for task in report.tasks] == ["failed", "ok"]
+        assert any(d.kind == "task-failed" for d in report.degradations)
+
+    def test_crash_fault_raises_in_process(self):
+        # A crash fault must never kill the supervising process itself.
+        results, report = supervised_map(
+            _double, [1], fault_plan=FaultPlan.crash_at(0)
+        )
+        assert results == [2]
+        assert report.tasks[0].attempts == 2
+
+    def test_pool_unavailable_degrades_to_serial(self, monkeypatch):
+        import multiprocessing
+
+        def broken(method):
+            raise ValueError(f"no {method} on this platform")
+
+        monkeypatch.setattr(multiprocessing, "get_context", broken)
+        results, report = supervised_map(_double, [1, 2, 3], workers=4)
+        assert results == [2, 4, 6]
+        assert report.serial_fallback
+        assert [d.kind for d in report.degradations] == ["pool-unavailable"]
+        assert any("pool-unavailable" in m for m in recent_degradations())
+
+
+class TestPoolSupervision:
+    def test_crash_requeues_only_unfinished(self):
+        # One sequential worker: tasks 0..k-1 complete, the crash at k
+        # breaks the pool, and ONLY tasks >= k are re-executed.
+        results, report = supervised_map(
+            _double, list(range(5)),
+            workers=1, use_pool=True,
+            fault_plan=FaultPlan.crash_at(2),
+        )
+        assert results == [0, 2, 4, 6, 8]
+        attempts = {task.index: task.attempts for task in report.tasks}
+        assert attempts == {0: 1, 1: 1, 2: 2, 3: 1, 4: 1}
+        assert report.pool_breaks == 1
+        assert [d.kind for d in report.degradations] == ["pool-broken"]
+
+    def test_completed_results_survive_the_break(self):
+        results, report = supervised_map(
+            _double, list(range(6)),
+            workers=2,
+            fault_plan=FaultPlan.crash_at(3),
+        )
+        assert results == [2 * v for v in range(6)]
+        assert report.pool_breaks == 1
+        assert all(task.ok for task in report.tasks)
+
+    @pytest.mark.fault_injection
+    def test_hang_is_timed_out_and_retried(self):
+        plan = dataclasses.replace(FaultPlan.hang_at(1), hang_seconds=10.0)
+        results, report = supervised_map(
+            _double, [1, 2, 3],
+            workers=2,
+            policy=SupervisorPolicy(task_timeout_s=0.4, retries=2),
+            fault_plan=plan,
+        )
+        assert results == [2, 4, 6]
+        records = {task.index: task for task in report.tasks}
+        assert records[1].attempts == 2
+        assert report.pool_restarts == 1
+        assert [d.kind for d in report.degradations] == ["task-timeout"]
+
+    @pytest.mark.fault_injection
+    def test_timeout_retry_exhaustion_fails_the_task(self):
+        plan = dataclasses.replace(
+            FaultPlan.hang_at(0, attempts=99), hang_seconds=10.0
+        )
+        results, report = supervised_map(
+            _double, [1, 2],
+            workers=2,
+            policy=SupervisorPolicy(
+                task_timeout_s=0.3, retries=1, best_effort=True
+            ),
+            fault_plan=plan,
+        )
+        assert results == [None, 4]
+        failed = report.failed
+        assert len(failed) == 1 and failed[0].index == 0
+        assert "timed out" in failed[0].error
+
+    @pytest.mark.fault_injection
+    def test_repeated_breaks_degrade_to_serial(self):
+        plan = FaultPlan(
+            specs=(
+                FaultSpec("crash", 0),
+                FaultSpec("crash", 1),
+                FaultSpec("crash", 2),
+            )
+        )
+        results, report = supervised_map(
+            _double, list(range(4)),
+            workers=1, use_pool=True,
+            policy=SupervisorPolicy(max_pool_rebuilds=2),
+            fault_plan=plan,
+        )
+        assert results == [0, 2, 4, 6]
+        assert report.serial_fallback
+        assert report.pool_breaks == 3
+        assert [d.kind for d in report.degradations][-1] == "serial-fallback"
+
+
+class TestRunReport:
+    def test_merge_accumulates(self):
+        one, two = RunReport(), RunReport()
+        one.add_degradation("pool-broken", "a")
+        two.add_degradation("task-timeout", "b")
+        two.pool_breaks = 1
+        two.serial_fallback = True
+        one.merge(two)
+        assert [d.kind for d in one.degradations] == [
+            "pool-broken", "task-timeout"
+        ]
+        assert one.pool_breaks == 1 and one.serial_fallback
+
+    def test_to_dict_round_trips_through_json(self):
+        report = RunReport()
+        report.add_degradation("pool-broken", "x")
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["degradations"][0]["kind"] == "pool-broken"
+
+    def test_summary_names_failures(self):
+        _, report = supervised_map(
+            _double, [1],
+            policy=SupervisorPolicy(retries=0, best_effort=True),
+            fault_plan=FaultPlan.error_at(0, attempts=9),
+        )
+        text = report.summary()
+        assert "0/1 tasks ok" in text and "FAILED task-0" in text
+
+
+class TestCheckpointFailurePaths:
+    def test_truncated_checkpoint_raises_checkpoint_error(self, tmp_path):
+        sw = SoftWatt(window_instructions=WINDOW, seed=1, use_cache=False)
+        sw.profile("jess")
+        path = tmp_path / "ck.json"
+        save_checkpoint(path, profiles=sw._profiles)
+        truncate_file(path, keep_bytes=40)
+        with pytest.raises(CheckpointError, match="cannot read"):
+            load_checkpoint(path)
+
+    def test_corrupt_cache_entry_is_quarantined_not_deleted(self, tmp_path):
+        sw = SoftWatt(window_instructions=WINDOW, seed=1, cache_dir=tmp_path)
+        sw.profile("jess")
+        entries = list(tmp_path.glob("*.json"))
+        assert entries
+        for path in entries:
+            corrupt_file(path, seed=3)
+        fresh = SoftWatt(window_instructions=WINDOW, seed=1, cache_dir=tmp_path)
+        fresh.profile("jess")
+        assert fresh.profiler.detailed_runs == 1
+        assert fresh.cache.stats.quarantined == len(entries)
+        quarantined = fresh.cache.quarantined_entries()
+        assert [p.name for p in quarantined] == sorted(e.name for e in entries)
+        assert any("cache-quarantine" in m for m in recent_degradations())
+
+    def test_warm_cache_run_with_one_quarantined_entry(self, tmp_path):
+        cold = SoftWatt(window_instructions=WINDOW, seed=1, cache_dir=tmp_path)
+        reference = {
+            name: result.total_energy_j
+            for name, result in cold.run_suite(names=("jess", "db")).items()
+        }
+        # Corrupt exactly one benchmark entry; the warm run must
+        # quarantine it, re-profile only that benchmark, and reproduce
+        # the same energies.
+        key = cold._profile_key(cold._profiles["jess"].spec)
+        corrupt_file(tmp_path / f"{key}.json", seed=5)
+        warm = SoftWatt(window_instructions=WINDOW, seed=1, cache_dir=tmp_path)
+        results = warm.run_suite(names=("jess", "db"))
+        assert warm.profiler.detailed_runs == 1
+        assert warm.cache.stats.quarantined == 1
+        for name, energy in reference.items():
+            assert results[name].total_energy_j == energy
+
+
+class TestSuiteRecovery:
+    @pytest.mark.fault_injection
+    def test_broken_pool_mid_suite_is_bit_identical(self):
+        names = ("jess", "db", "javac")
+        clean = SoftWatt(
+            window_instructions=WINDOW, seed=1, use_cache=False
+        ).run_suite(names=names, workers=1)
+        faulty = SoftWatt(
+            window_instructions=WINDOW, seed=1, use_cache=False,
+            fault_plan=FaultPlan.crash_at(1),
+        ).run_suite(names=names, workers=2)
+        assert set(faulty) == set(names)
+        assert faulty.report.pool_breaks == 1
+        assert [d.kind for d in faulty.report.degradations] == ["pool-broken"]
+        for name in names:
+            assert faulty[name].total_energy_j == clean[name].total_energy_j
+            assert faulty[name].disk_energy_j == clean[name].disk_energy_j
+            assert faulty[name].idle_cycles == clean[name].idle_cycles
+
+    @pytest.mark.fault_injection
+    def test_recovered_suite_matches_golden_snapshot(self):
+        golden = json.loads(GOLDEN_PATH.read_text())
+        names = ("jess", "db")
+        faulty = SoftWatt(
+            window_instructions=golden["window_instructions"],
+            seed=golden["seed"],
+            use_cache=False,
+            fault_plan=FaultPlan.crash_at(1),
+        ).run_suite(names=names, disk=golden["disk"], workers=2)
+        assert len(faulty.report.degradations) == 1
+        assert faulty.report.degradations[0].kind == "pool-broken"
+        for name in names:
+            expected = golden["benchmarks"][f"mxs/{name}"]
+            assert faulty[name].total_energy_j == expected["total_energy_j"]
+            assert faulty[name].disk_energy_j == expected["disk_energy_j"]
+            assert faulty[name].power_budget() == expected["budget_w"]
+
+    def test_best_effort_suite_skips_failed_benchmark(self):
+        results = SoftWatt(
+            window_instructions=WINDOW, seed=1, use_cache=False,
+            retries=0, best_effort=True,
+            fault_plan=FaultPlan.error_at(0, attempts=99),
+        ).run_suite(names=("jess", "db"), workers=2)
+        assert set(results) == {"db"}
+        assert [task.status for task in results.report.tasks] == [
+            "failed", "ok"
+        ]
+
+
+class TestCLIResilience:
+    def test_flags_parse(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["suite", "--task-timeout", "30", "--retries", "1", "--strict",
+             "--fault-plan", "crash@0"]
+        )
+        assert args.task_timeout == 30.0
+        assert args.retries == 1
+        assert args.strict and not args.best_effort
+
+    def test_strict_and_best_effort_exclusive(self):
+        from repro.cli import build_parser
+
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["suite", "--strict", "--best-effort"])
+
+    def test_bad_fault_plan_exits_2(self):
+        assert main(["validate", "--fault-plan", "zap@x"]) == 2
+
+    @pytest.mark.fault_injection
+    def test_strict_mode_exits_nonzero_on_degraded_run(self, tmp_path, capsys):
+        base = ["checkpoint", "db", "jess", "--out", str(tmp_path / "ck.json"),
+                "--window", str(WINDOW), "--seed", "1", "--workers", "2",
+                "--no-cache", "--fault-plan", "crash@1"]
+        assert main([*base, "--strict"]) == 1
+        out = capsys.readouterr().out
+        assert "run report:" in out
+        assert "pool-broken" in out
+        # The identical degraded run is tolerated without --strict.
+        assert main(base) == 0
