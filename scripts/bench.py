@@ -8,9 +8,17 @@ Times the three layers the performance work targets:
 * a cold ``run_suite`` serially and with a process-pool fan-out
   (verifying the fan-out is bit-identical to the serial run), and
 * a warm-cache ``run_suite`` in a fresh instance (verifying the
-  persistent cache skips detailed simulation entirely).
+  persistent cache skips detailed simulation entirely),
+* the vectorized timeline sampling path against its pure-Python
+  fallback (``timeline_sample``), and
+* the tiered sweep campaign engine against legacy point-by-point full
+  re-simulation (``sweep_serial_vs_campaign``): a Tier-L vdd sweep
+  cold and warm, plus a structural l1_size sweep fanned out over
+  workers against a warm profile cache.
 
-``--quick`` shrinks the window and repeats for CI smoke runs.
+Every comparison asserts bit-identical results and exits non-zero on
+divergence.  ``--quick`` shrinks the window and repeats for CI smoke
+runs.
 """
 
 from __future__ import annotations
@@ -26,8 +34,16 @@ import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
+from repro.config.system import SystemConfig  # noqa: E402
+from repro.core.campaign import SweepCampaign  # noqa: E402
 from repro.core.profiles import Profiler  # noqa: E402
 from repro.core.softwatt import SoftWatt  # noqa: E402
+from repro.core.timeline import (  # noqa: E402
+    PURE_PYTHON_ENV,
+    TimelineSimulator,
+    vectorized_sampling,
+)
+from repro.stats.postprocess import total_energy_j  # noqa: E402
 from repro.workloads.specjvm98 import benchmark  # noqa: E402
 
 SEED_BASELINE = {
@@ -118,8 +134,6 @@ def main() -> int:
     # Accounting stage in isolation: registry evaluation + ledger
     # rollups over the already-recorded logs (the simulate->count half
     # is excluded).  Tracks the PowerComponent-registry overhead.
-    from repro.stats.postprocess import total_energy_j
-
     def _account():
         return [
             (result.energy_ledger().total_j,
@@ -171,6 +185,146 @@ def main() -> int:
               f"bit-identical: {identical})")
     finally:
         shutil.rmtree(cache_dir, ignore_errors=True)
+
+    # Layer 4: vectorized timeline sampling.  Replay one benchmark's
+    # timeline from its (already computed) detailed profile with the
+    # numpy path and again with the pure-Python fallback forced; both
+    # must produce the same log to the last bit.
+    replay_sw = SoftWatt(window_instructions=window, seed=seed, use_cache=False)
+    replay_profile = replay_sw.profile("jess")
+    replay_services = replay_sw._cached_service_profiles()
+
+    def _replay():
+        timeline = TimelineSimulator(
+            replay_profile, disk_policy=1, service_profiles=replay_services
+        ).run()
+        return (
+            len(timeline.log),
+            timeline.duration_s,
+            total_energy_j(timeline.log, replay_sw.model),
+        )
+
+    sample_stage: dict = {"numpy_available": vectorized_sampling()}
+    numpy_timing = _time(_replay, max(3, args.repeats))
+    numpy_fingerprint = numpy_timing.pop("_result")
+    sample_stage["numpy"] = numpy_timing
+    os.environ[PURE_PYTHON_ENV] = "1"
+    try:
+        python_timing = _time(_replay, max(3, args.repeats))
+    finally:
+        os.environ.pop(PURE_PYTHON_ENV, None)
+    python_fingerprint = python_timing.pop("_result")
+    sample_stage["pure_python"] = python_timing
+    identical = numpy_fingerprint == python_fingerprint
+    sample_stage["bit_identical"] = identical
+    sample_stage["speedup"] = round(
+        python_timing["best_s"] / numpy_timing["best_s"], 2
+    )
+    report["timeline_sample"] = sample_stage
+    print(f"timeline replay (jess): numpy {numpy_timing['best_s']:.3f} s, "
+          f"pure python {python_timing['best_s']:.3f} s "
+          f"({sample_stage['speedup']}x, bit-identical: {identical})")
+    if not identical:
+        print("ERROR: numpy sampling diverged from pure python",
+              file=sys.stderr)
+        return 1
+
+    # Sweep campaign: the tiered engine vs legacy full re-simulation.
+    # Tier L (vdd): every point re-prices the cached base timeline; the
+    # full arm re-simulates detailed profiling at every point.
+    base_vdd = SystemConfig.table1().technology.vdd
+    sweep_points = 8 if args.quick else 12
+    vdd_values = [
+        round(base_vdd * (0.80 + 0.03 * index), 6)
+        for index in range(sweep_points)
+    ]
+
+    def _point_key(result):
+        return [
+            (p.value, p.energy_j, p.duration_s, p.average_power_w,
+             p.peak_power_w)
+            for p in result.points
+        ]
+
+    def _campaign(**kwargs):
+        return SweepCampaign(
+            benchmark="jess", window_instructions=window, seed=seed, **kwargs
+        )
+
+    full_arm = _time(
+        lambda: _campaign(tier="full", use_cache=False).run("vdd", vdd_values),
+        1,
+    )
+    full_key = _point_key(full_arm.pop("_result"))
+    cold_campaign = _campaign(use_cache=False)
+    cold_arm = _time(lambda: cold_campaign.run("vdd", vdd_values), 1)
+    cold_key = _point_key(cold_arm.pop("_result"))
+    warm_arm = _time(lambda: cold_campaign.run("vdd", vdd_values), 1)
+    warm_key = _point_key(warm_arm.pop("_result"))
+    identical = cold_key == full_key and warm_key == full_key
+    tier_l = {
+        "parameter": "vdd",
+        "points": sweep_points,
+        "serial_full_s": full_arm["best_s"],
+        "campaign_cold_s": cold_arm["best_s"],
+        "campaign_warm_s": warm_arm["best_s"],
+        "speedup_cold": round(full_arm["best_s"] / cold_arm["best_s"], 2),
+        "speedup_warm": round(full_arm["best_s"] / warm_arm["best_s"], 2),
+        "bit_identical": identical,
+    }
+    print(f"sweep vdd x{sweep_points}: full {tier_l['serial_full_s']:.3f} s, "
+          f"campaign cold {tier_l['campaign_cold_s']:.3f} s "
+          f"({tier_l['speedup_cold']}x), warm "
+          f"{tier_l['campaign_warm_s']:.3f} s ({tier_l['speedup_warm']}x, "
+          f"bit-identical: {identical})")
+    if not identical:
+        print("ERROR: tiered vdd sweep diverged from full re-simulation",
+              file=sys.stderr)
+        return 1
+
+    # Tier S (l1_size): structural points need full re-simulation; the
+    # engine wins by fanning them out over workers against a warm
+    # persistent profile cache.
+    l1_sizes = [8192, 16384, 65536]
+    serial_arm = _time(
+        lambda: _campaign(use_cache=False).run("l1_size", l1_sizes), 1
+    )
+    serial_key = _point_key(serial_arm.pop("_result"))
+    sweep_cache = tempfile.mkdtemp(prefix="repro-bench-sweep-cache-")
+    try:
+        _campaign(cache_dir=sweep_cache, workers=args.workers).run(
+            "l1_size", l1_sizes
+        )
+        warm_parallel_arm = _time(
+            lambda: _campaign(cache_dir=sweep_cache, workers=args.workers).run(
+                "l1_size", l1_sizes
+            ),
+            1,
+        )
+        warm_parallel_key = _point_key(warm_parallel_arm.pop("_result"))
+    finally:
+        shutil.rmtree(sweep_cache, ignore_errors=True)
+    identical = warm_parallel_key == serial_key
+    tier_s = {
+        "parameter": "l1_size",
+        "points": len(l1_sizes),
+        "workers": args.workers,
+        "serial_cold_s": serial_arm["best_s"],
+        "parallel_warm_s": warm_parallel_arm["best_s"],
+        "speedup": round(
+            serial_arm["best_s"] / warm_parallel_arm["best_s"], 2
+        ),
+        "bit_identical": identical,
+    }
+    print(f"sweep l1_size x{len(l1_sizes)}: serial cold "
+          f"{tier_s['serial_cold_s']:.3f} s, workers={args.workers} warm "
+          f"cache {tier_s['parallel_warm_s']:.3f} s "
+          f"({tier_s['speedup']}x, bit-identical: {identical})")
+    if not identical:
+        print("ERROR: parallel warm-cache sweep diverged from serial",
+              file=sys.stderr)
+        return 1
+    report["sweep_serial_vs_campaign"] = {"tier_l": tier_l, "tier_s": tier_s}
 
     if (
         window == SEED_BASELINE["window_instructions"]

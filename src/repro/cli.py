@@ -16,6 +16,7 @@ from __future__ import annotations
 
 import argparse
 import sys
+from collections import Counter
 
 from repro.config.diskcfg import DiskPowerPolicy
 from repro.config.system import ConfigError
@@ -109,7 +110,7 @@ def _make_softwatt(args: argparse.Namespace) -> SoftWatt:
             softwatt.load_checkpoint(args.checkpoint)
             print(f"(profiles loaded from {args.checkpoint})")
         except (OSError, Exception) as error:  # noqa: BLE001 - report and continue
-            from repro.core.checkpoint import CheckpointError
+            from repro.core.checkpoint import CheckpointError  # noqa: PLC0415
 
             if isinstance(error, CheckpointError) and "cannot read" in str(error):
                 print(f"(no checkpoint at {args.checkpoint} yet; will create it)")
@@ -160,17 +161,17 @@ def cmd_run(args: argparse.Namespace) -> int:
                           idle_policy=args.idle_policy)
     _print_report(result)
     if args.export_log:
-        from repro.stats.export import write_log_csv
+        from repro.stats.export import write_log_csv  # noqa: PLC0415
 
         write_log_csv(result.timeline.log, args.export_log)
         print(f"\nlog written to {args.export_log}")
     if args.export_trace:
-        from repro.stats.export import write_trace_csv
+        from repro.stats.export import write_trace_csv  # noqa: PLC0415
 
         write_trace_csv(result.trace, args.export_trace)
         print(f"trace written to {args.export_trace}")
     if args.export_budget:
-        from repro.stats.export import write_ledger_json
+        from repro.stats.export import write_ledger_json  # noqa: PLC0415
 
         write_ledger_json(result.energy_ledger(), args.export_budget,
                           seconds=result.timeline.duration_s)
@@ -181,7 +182,7 @@ def cmd_run(args: argparse.Namespace) -> int:
 
 def cmd_components(args: argparse.Namespace) -> int:
     """List the PowerComponent registry (the accounting schema)."""
-    from repro.power.registry import REGISTRY
+    from repro.power.registry import REGISTRY  # noqa: PLC0415
 
     print(f"{'component':10s} {'category':10s} counters")
     for component in REGISTRY:
@@ -255,7 +256,7 @@ def cmd_disk_study(args: argparse.Namespace) -> int:
 
 
 def cmd_report(args: argparse.Namespace) -> int:
-    from repro.core.textreport import render_run, render_suite
+    from repro.core.textreport import render_run, render_suite  # noqa: PLC0415
 
     softwatt = _make_softwatt(args)
     if args.benchmark == "suite":
@@ -276,30 +277,76 @@ def cmd_report(args: argparse.Namespace) -> int:
     return _finish(softwatt, args)
 
 
-def cmd_sensitivity(args: argparse.Namespace) -> int:
-    from repro.core.sensitivity import sweep_parameter, sweep_spindown_threshold
+def _parse_sweep_value(text: str, parameter: str):
+    """Sweep values are ints when integral, floats otherwise.
 
-    values = args.values
-    if args.parameter == "spindown_threshold_s":
-        result = sweep_spindown_threshold(
-            [float(v) for v in values],
-            benchmark=args.benchmark,
-            window_instructions=args.window,
-            seed=args.seed,
-        )
-    else:
-        result = sweep_parameter(
-            args.parameter,
-            [int(v) for v in values],
-            benchmark=args.benchmark,
-            disk=args.disk,
-            window_instructions=args.window,
-            seed=args.seed,
-        )
+    The historical parser forced ``int()`` on everything but the
+    spin-down threshold, so ``vdd 3.3`` crashed with a raw ValueError;
+    junk now gets a message naming the offending parameter.
+    """
+    try:
+        return int(text)
+    except ValueError:
+        pass
+    try:
+        return float(text)
+    except ValueError:
+        raise ValueError(
+            f"invalid value {text!r} for parameter {parameter!r}; "
+            f"expected an integer or a float"
+        ) from None
+
+
+def cmd_sensitivity(args: argparse.Namespace) -> int:
+    from repro.core.campaign import SweepCampaign  # noqa: PLC0415
+
+    try:
+        values = [_parse_sweep_value(v, args.parameter) for v in args.values]
+        axes = {args.parameter: values}
+        for spec in args.grid or []:
+            name, _, raw = spec.partition("=")
+            if not name or not raw:
+                raise ValueError(
+                    f"invalid --grid spec {spec!r}; expected PARAM=V1,V2,...")
+            axes[name] = [_parse_sweep_value(v, name) for v in raw.split(",")]
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    campaign = SweepCampaign(
+        benchmark=args.benchmark,
+        disk=args.disk,
+        window_instructions=args.window,
+        seed=args.seed,
+        workers=getattr(args, "workers", 1),
+        cache_dir=getattr(args, "cache_dir", None),
+        use_cache=not getattr(args, "no_cache", False),
+        tier=None if args.tier == "auto" else args.tier,
+        **_resilience_kwargs(args),
+    )
+    try:
+        if len(axes) > 1:
+            result = campaign.run_grid(axes)
+        else:
+            result = campaign.run(args.parameter, values)
+    except ValueError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
     print(result.format())
+    if result.tiers:
+        counts = Counter(result.tiers)
+        summary = ", ".join(
+            f"{tier.lower()} x{count}" for tier, count in counts.items()
+        )
+        print(f"tiers: {summary}")
     best = result.best_by_edp()
-    print(f"best EDP at {args.parameter}={best.value}: "
+    print(f"best EDP at {result.parameter}={best.value}: "
           f"{best.energy_delay_product:.1f} Js")
+    if result.report is not None and result.report.degraded:
+        print()
+        print(result.report.summary())
+        if getattr(args, "strict", False):
+            print("strict mode: degraded run, exiting non-zero")
+            return 1
     return 0
 
 
@@ -379,12 +426,28 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser("sensitivity", help="sweep one design parameter")
     p.add_argument("parameter",
                    help="l1_size | l2_size | window_size | issue_width | "
-                        "tlb_entries | spindown_threshold_s")
+                        "tlb_entries | vdd | calibration | clock_hz | "
+                        "spindown_threshold_s")
     p.add_argument("values", nargs="+", help="values to sweep")
     p.add_argument("--benchmark", choices=BENCHMARK_NAMES, default="jess")
     p.add_argument("--disk", type=int, choices=(1, 2, 3, 4), default=2)
     p.add_argument("--window", type=int, default=15_000)
     p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--grid", metavar="PARAM=V1,V2,...", action="append",
+                   help="additional axis for a multi-parameter grid sweep "
+                        "(repeatable; points are the cartesian product)")
+    p.add_argument("--tier", choices=("auto", "ledger", "timeline", "full"),
+                   default="auto",
+                   help="force every point through one tier (default: "
+                        "classify each point by what it invalidates)")
+    p.add_argument("--workers", type=int, default=1,
+                   help="processes for structural points (default: 1)")
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent profile cache directory "
+                        "(default: $REPRO_CACHE_DIR, or disabled)")
+    p.add_argument("--no-cache", action="store_true",
+                   help="ignore the persistent profile cache")
+    _add_resilience(p)
     p.set_defaults(func=cmd_sensitivity)
 
     p = sub.add_parser("checkpoint", help="profile benchmarks and save")

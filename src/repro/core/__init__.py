@@ -1,5 +1,14 @@
 """The SoftWatt core: profiling, timeline simulation, the facade."""
 
+from repro.core.campaign import (
+    SweepCampaign,
+    SweepPoint,
+    SweepResult,
+    Tier,
+    sweep_grid,
+    sweep_parameter,
+    sweep_spindown_threshold,
+)
 from repro.core.profiles import (
     BenchmarkProfile,
     IdleProfile,
@@ -14,7 +23,7 @@ from repro.core.report import (
     ModeRow,
     ServiceRow,
 )
-from repro.core.softwatt import MIPSY_SPEED_FACTOR, SoftWatt
+from repro.core.softwatt import MIPSY_SPEED_FACTOR, SoftWatt, speed_factor
 from repro.core.timeline import (
     TimelineResult,
     TimelineSimulator,
@@ -34,6 +43,14 @@ __all__ = [
     "ServiceRow",
     "MIPSY_SPEED_FACTOR",
     "SoftWatt",
+    "speed_factor",
+    "SweepCampaign",
+    "SweepPoint",
+    "SweepResult",
+    "Tier",
+    "sweep_grid",
+    "sweep_parameter",
+    "sweep_spindown_threshold",
     "TimelineResult",
     "TimelineSimulator",
     "disk_power_series",

@@ -3,170 +3,41 @@
 "The successful design and evaluation of such optimization techniques
 is invariably tied to a broad and accurate set of rich tools"
 (Section 1) — the point of a complete-machine power simulator is to
-sweep design parameters and watch the *system* react.  This module
-automates that: vary one structural parameter of the Table 1 machine
-(cache sizes, window size, issue width, spin-down threshold...) and
-collect energy, runtime, EDP, and the power budget at each point.
+sweep design parameters and watch the *system* react.
+
+The sweep implementation lives in :mod:`repro.core.campaign`, which
+classifies every design point by the pipeline tier it invalidates
+(ledger re-pricing, timeline replay, or full re-simulation) and
+dispatches accordingly; this module re-exports the public API under
+its historical name.
 """
 
 from __future__ import annotations
 
-import dataclasses
-from typing import Callable
+from repro.core.campaign import (
+    PARAMETERS,
+    SPINDOWN_PARAMETER,
+    ConfigTransform,
+    SweepCampaign,
+    SweepPoint,
+    SweepResult,
+    Tier,
+    point_from_result,
+    sweep_grid,
+    sweep_parameter,
+    sweep_spindown_threshold,
+)
 
-from repro.config.diskcfg import DiskPowerPolicy
-from repro.config.system import CacheConfig, SystemConfig
-from repro.core.softwatt import SoftWatt
-
-
-@dataclasses.dataclass(frozen=True)
-class SweepPoint:
-    """One design point's results."""
-
-    value: object
-    energy_j: float
-    duration_s: float
-    average_power_w: float
-    peak_power_w: float
-    budget_shares: dict[str, float]
-    kernel_share_pct: float = 0.0
-    """Kernel mode's share of cycles at this point."""
-    component_energy_j: dict[str, float] = dataclasses.field(default_factory=dict)
-    """Per-PowerComponent joules (the full-run ledger, disk included)."""
-
-    @property
-    def energy_delay_product(self) -> float:
-        """EDP at this design point."""
-        return self.energy_j * self.duration_s
-
-
-@dataclasses.dataclass(frozen=True)
-class SweepResult:
-    """A full one-parameter sweep."""
-
-    parameter: str
-    benchmark: str
-    points: list[SweepPoint]
-
-    def best_by_energy(self) -> SweepPoint:
-        """The design point with the lowest total energy."""
-        return min(self.points, key=lambda point: point.energy_j)
-
-    def best_by_edp(self) -> SweepPoint:
-        """The design point with the lowest EDP."""
-        return min(self.points, key=lambda point: point.energy_delay_product)
-
-    def format(self) -> str:
-        """A compact table of the sweep."""
-        lines = [f"sweep of {self.parameter} on {self.benchmark}:"]
-        lines.append(f"  {'value':>10s} {'energy J':>9s} {'dur s':>7s} "
-                     f"{'avg W':>6s} {'EDP Js':>8s}")
-        for point in self.points:
-            lines.append(
-                f"  {str(point.value):>10s} {point.energy_j:9.1f} "
-                f"{point.duration_s:7.2f} {point.average_power_w:6.2f} "
-                f"{point.energy_delay_product:8.1f}")
-        return "\n".join(lines)
-
-
-ConfigTransform = Callable[[SystemConfig, object], SystemConfig]
-
-
-def _point(value, result) -> SweepPoint:
-    from repro.kernel.modes import ExecutionMode
-
-    modes = result.mode_breakdown()
-    ledger = result.energy_ledger()
-    return SweepPoint(
-        value=value,
-        energy_j=result.total_energy_j,
-        duration_s=result.timeline.duration_s,
-        average_power_w=result.average_power_w,
-        peak_power_w=result.peak_power_w,
-        budget_shares=result.power_budget_shares(),
-        kernel_share_pct=modes[ExecutionMode.KERNEL].cycles_pct,
-        component_energy_j=ledger.components,
-    )
-
-
-def _scale_cache(cache: CacheConfig, size_bytes: int) -> CacheConfig:
-    return dataclasses.replace(cache, size_bytes=size_bytes)
-
-
-def _with_core(config: SystemConfig, **core) -> SystemConfig:
-    return dataclasses.replace(
-        config, core=dataclasses.replace(config.core, **core))
-
-
-#: Built-in parameter transforms: name -> (values hint, transform).
-PARAMETERS: dict[str, ConfigTransform] = {
-    "l1_size": lambda config, value: dataclasses.replace(
-        config,
-        l1i=_scale_cache(config.l1i, value),
-        l1d=_scale_cache(config.l1d, value),
-    ),
-    "l2_size": lambda config, value: dataclasses.replace(
-        config, l2=_scale_cache(config.l2, value)),
-    "window_size": lambda config, value: _with_core(config, window_size=value),
-    "issue_width": lambda config, value: _with_core(
-        config, fetch_width=value, decode_width=value,
-        issue_width=value, commit_width=value),
-    "tlb_entries": lambda config, value: dataclasses.replace(
-        config, tlb=dataclasses.replace(config.tlb, entries=value)),
-}
-
-
-def sweep_parameter(
-    parameter: str,
-    values: list,
-    *,
-    benchmark: str = "jess",
-    disk: int | DiskPowerPolicy = 2,
-    window_instructions: int = 15_000,
-    seed: int = 1,
-    transform: ConfigTransform | None = None,
-) -> SweepResult:
-    """Sweep one configuration parameter over ``values``.
-
-    ``parameter`` names a built-in transform from :data:`PARAMETERS`,
-    or pass a custom ``transform(config, value) -> config``.  Each point
-    builds a fresh SoftWatt instance (profiles are config-dependent).
-    """
-    if transform is None:
-        if parameter not in PARAMETERS:
-            raise ValueError(
-                f"unknown parameter {parameter!r}; built-ins: "
-                f"{sorted(PARAMETERS)}")
-        transform = PARAMETERS[parameter]
-    if not values:
-        raise ValueError("need at least one value to sweep")
-    base = SystemConfig.table1()
-    points: list[SweepPoint] = []
-    for value in values:
-        config = transform(base, value)
-        softwatt = SoftWatt(config=config,
-                            window_instructions=window_instructions, seed=seed)
-        result = softwatt.run(benchmark, disk=disk)
-        points.append(_point(value, result))
-    return SweepResult(parameter=parameter, benchmark=benchmark, points=points)
-
-
-def sweep_spindown_threshold(
-    thresholds_s: list[float],
-    *,
-    benchmark: str = "compress",
-    window_instructions: int = 15_000,
-    seed: int = 1,
-) -> SweepResult:
-    """Sweep the disk spin-down threshold (one shared profile)."""
-    if not thresholds_s:
-        raise ValueError("need at least one threshold")
-    softwatt = SoftWatt(window_instructions=window_instructions, seed=seed)
-    points: list[SweepPoint] = []
-    for threshold in thresholds_s:
-        policy = DiskPowerPolicy(name=f"sweep-{threshold:g}s",
-                                 spindown_threshold_s=threshold)
-        result = softwatt.run(benchmark, disk=policy)
-        points.append(_point(threshold, result))
-    return SweepResult(parameter="spindown_threshold_s", benchmark=benchmark,
-                       points=points)
+__all__ = [
+    "PARAMETERS",
+    "SPINDOWN_PARAMETER",
+    "ConfigTransform",
+    "SweepCampaign",
+    "SweepPoint",
+    "SweepResult",
+    "Tier",
+    "point_from_result",
+    "sweep_grid",
+    "sweep_parameter",
+    "sweep_spindown_threshold",
+]

@@ -28,8 +28,11 @@ from __future__ import annotations
 from repro.config.diskcfg import DiskPowerPolicy, disk_configuration
 from repro.config.system import SystemConfig
 from repro.core.checkpoint import (
+    CheckpointError,
     ProfileCache,
+    load_checkpoint,
     profile_cache_key,
+    save_checkpoint,
     service_cache_key,
 )
 from repro.core.profiles import (
@@ -56,6 +59,21 @@ SINGLE_ISSUE_SPEED_FACTOR = 2.2
 work takes proportionally longer on the 1-wide machine, which is how
 the kernel's cycle share comes out *lower* there (Section 3.2's 14.3 %
 single-issue vs 21.0 % superscalar comparison)."""
+
+
+def speed_factor(cpu_model: str, config: SystemConfig) -> float:
+    """Wall-time stretch for a (CPU model, configuration) pair.
+
+    The benchmark durations are calibrated for the 4-wide MXS machine;
+    Mipsy and the single-issue configuration run the same work over a
+    proportionally longer wall time.  The campaign engine's timeline
+    tier reuses this so replays match :meth:`SoftWatt.run` exactly.
+    """
+    if cpu_model == "mipsy":
+        return MIPSY_SPEED_FACTOR
+    if config.core.issue_width == 1:
+        return SINGLE_ISSUE_SPEED_FACTOR
+    return 1.0
 
 
 class SoftWatt:
@@ -173,7 +191,11 @@ class SoftWatt:
             profiles = {spec.name: self.profile(spec) for spec in specs}
             return self._attach_report(profiles, report)
 
-        from repro.parallel import ProfileBenchmarkTask, profile_benchmarks
+        # Deliberately lazy: workers <= 1 never touches the pool machinery.
+        from repro.parallel import (  # noqa: PLC0415
+            ProfileBenchmarkTask,
+            profile_benchmarks,
+        )
 
         pending: list[BenchmarkSpec] = []
         for spec in specs:
@@ -253,12 +275,7 @@ class SoftWatt:
             spec = benchmark(spec)
         profile = self.profile(spec)
         policy = disk_configuration(disk) if isinstance(disk, int) else disk
-        if self.cpu_model == "mipsy":
-            speed = MIPSY_SPEED_FACTOR
-        elif self.config.core.issue_width == 1:
-            speed = SINGLE_ISSUE_SPEED_FACTOR
-        else:
-            speed = 1.0
+        speed = speed_factor(self.cpu_model, self.config)
         simulator = TimelineSimulator(
             profile,
             disk_policy=policy,
@@ -354,7 +371,12 @@ class SoftWatt:
                     service, self.model, invocations=invocations
                 )
         else:
-            from repro.parallel import ProfileServiceTask, profile_services
+            # Deliberately lazy: workers <= 1 never touches the pool
+            # machinery.
+            from repro.parallel import (  # noqa: PLC0415
+                ProfileServiceTask,
+                profile_services,
+            )
 
             tasks = [
                 ProfileServiceTask(
@@ -407,8 +429,6 @@ class SoftWatt:
         simulation runs once; later sessions ``load_checkpoint`` and
         sweep disk policies or report formats instantly.
         """
-        from repro.core.checkpoint import save_checkpoint
-
         save_checkpoint(
             path,
             profiles=self._profiles,
@@ -418,8 +438,6 @@ class SoftWatt:
 
     def load_checkpoint(self, path) -> None:
         """Load profiles saved by :meth:`save_checkpoint` into the cache."""
-        from repro.core.checkpoint import CheckpointError, load_checkpoint
-
         profiles, services, cpu_model = load_checkpoint(path, config=self.config)
         if cpu_model != self.cpu_model:
             raise CheckpointError(

@@ -20,9 +20,14 @@ penalties serialise with execution in the paper's Section 4 study.
 from __future__ import annotations
 
 import dataclasses
+import os
 from typing import TYPE_CHECKING
 
-from repro.config.diskcfg import DiskPowerPolicy, disk_configuration
+from repro.config.diskcfg import (
+    MK3003MAN_POWER_W,
+    DiskPowerPolicy,
+    disk_configuration,
+)
 from repro.core.profiles import (
     BenchmarkProfile,
     PhaseProfile,
@@ -31,13 +36,37 @@ from repro.core.profiles import (
 from repro.cpu.runstats import RunStats
 from repro.disk.manager import PowerManagedDisk
 from repro.kernel.modes import ExecutionMode, mode_of_label
-from repro.stats.counters import AccessCounters
+from repro.stats.counters import (
+    COUNTER_FIELDS,
+    AccessCounters,
+    counters_from_vector,
+    counters_to_vector,
+)
 from repro.stats.simlog import LogRecord, SimulationLog
 
 if TYPE_CHECKING:
     from repro.power.ledger import EnergyLedger
 
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
 _EPS = 1e-9
+
+PURE_PYTHON_ENV = "REPRO_PURE_PYTHON"
+"""Set to a non-empty value (other than ``0``) to force the pure-Python
+sampling path even when numpy is importable.  The two paths are
+bit-identical (pinned by ``tests/test_golden_energy.py`` and the
+equivalence tests in ``tests/test_core.py``); the flag exists for
+benchmarking the speedup and as an escape hatch."""
+
+
+def vectorized_sampling() -> bool:
+    """True when the numpy sampling/aggregation path is active."""
+    if _np is None:
+        return False
+    return os.environ.get(PURE_PYTHON_ENV, "") in ("", "0")
 
 IDLE_POLICIES = ("busywait", "halt")
 """How the CPU spends idle periods.
@@ -320,7 +349,29 @@ class TimelineSimulator:
         cycle counter rates, spread uniformly over compute segments
         (window-derived activity is diluted by ``1 - phi`` to make
         room).
+
+        Dispatches to the numpy path when available: counters become
+        fixed-order float64 vectors (``COUNTER_FIELDS`` order) so each
+        segment overlap is one fused multiply-add instead of 33
+        attribute round-trips.  Both paths perform the same IEEE-754
+        operations in the same order, so outputs are bit-identical.
         """
+        if vectorized_sampling():
+            return self._sample_numpy(
+                segments, duration_s, phi=phi, scheduled_rate=scheduled_rate
+            )
+        return self._sample_python(
+            segments, duration_s, phi=phi, scheduled_rate=scheduled_rate
+        )
+
+    def _sample_python(
+        self,
+        segments: list[_Segment],
+        duration_s: float,
+        *,
+        phi: float = 0.0,
+        scheduled_rate: AccessCounters | None = None,
+    ) -> SimulationLog:
         log = SimulationLog(self.sample_interval_s)
         if not segments:
             return log
@@ -387,11 +438,124 @@ class TimelineSimulator:
             t = t_end
         return log
 
+    def _sample_numpy(
+        self,
+        segments: list[_Segment],
+        duration_s: float,
+        *,
+        phi: float = 0.0,
+        scheduled_rate: AccessCounters | None = None,
+    ) -> SimulationLog:
+        # Mirrors _sample_python operation-for-operation; only the
+        # counter accumulation is vectorized (`acc += vec * factor` is
+        # per-element `acc[i] + vec[i] * factor`, the same IEEE-754
+        # sequence as AccessCounters.add of _scale_counters output).
+        log = SimulationLog(self.sample_interval_s)
+        if not segments:
+            return log
+        interval = self.sample_interval_s
+        clock = self.clock_hz
+        dilution = 1.0 - phi
+        halt_idle = self.idle_policy == "halt"
+        width = len(COUNTER_FIELDS)
+        sched_vec = (
+            counters_to_vector(scheduled_rate)
+            if scheduled_rate is not None
+            else None
+        )
+        # Segment sources repeat (idle stats, per-chunk profiles), so
+        # their rate vectors are converted once and reused.
+        rate_cache: dict[tuple[int, bool], tuple[object, dict]] = {}
+
+        def segment_rates(seg: _Segment) -> tuple[object, dict]:
+            key = (id(seg.source), halt_idle and seg.is_idle)
+            cached = rate_cache.get(key)
+            if cached is None:
+                counters, mode_share = self._segment_rates(
+                    seg.source, halted=key[1]
+                )
+                cached = (counters_to_vector(counters), mode_share)
+                rate_cache[key] = cached
+            return cached
+
+        t = 0.0
+        seg_iter = iter(segments)
+        segment = next(seg_iter)
+        seg_vec, seg_share = segment_rates(segment)
+        while t < duration_s - _EPS:
+            t_end = min(t + interval, duration_s)
+            acc = _np.zeros(width, dtype=_np.float64)
+            mode_cycles: dict[ExecutionMode, float] = {}
+            cursor = t
+            cycles_total = 0.0
+            while cursor < t_end - _EPS:
+                while segment.end_s <= cursor + _EPS:
+                    try:
+                        segment = next(seg_iter)
+                    except StopIteration:
+                        break
+                    seg_vec, seg_share = segment_rates(segment)
+                overlap = min(segment.end_s, t_end) - cursor
+                if overlap <= 0:
+                    break
+                seg_cycles = overlap * clock
+                cycles_total += seg_cycles
+                source_cycles = max(1, segment.source.cycles)
+                if segment.is_idle:
+                    factor = seg_cycles / source_cycles
+                    acc += seg_vec * factor
+                    mode_cycles[ExecutionMode.IDLE] = (
+                        mode_cycles.get(ExecutionMode.IDLE, 0.0) + seg_cycles
+                    )
+                else:
+                    factor = seg_cycles * dilution / source_cycles
+                    acc += seg_vec * factor
+                    if sched_vec is not None:
+                        acc += sched_vec * seg_cycles
+                    for mode, share in seg_share.items():
+                        mode_cycles[mode] = (
+                            mode_cycles.get(mode, 0.0) + share * seg_cycles * dilution
+                        )
+                    if phi > 0.0:
+                        mode_cycles[ExecutionMode.KERNEL] = (
+                            mode_cycles.get(ExecutionMode.KERNEL, 0.0)
+                            + phi * seg_cycles
+                        )
+                cursor += overlap
+            log.append(
+                LogRecord(
+                    start_s=t,
+                    end_s=t_end,
+                    cycles=cycles_total,
+                    counters=counters_from_vector(acc),
+                    mode_cycles=mode_cycles,
+                )
+            )
+            t = t_end
+        return log
+
     # ------------------------------------------------------------------
     # Run-level aggregation
     # ------------------------------------------------------------------
 
     def _aggregate(
+        self,
+        segments: list[_Segment],
+        plan: dict[str, tuple[float, float]],
+        phi: float,
+    ) -> tuple[
+        dict[ExecutionMode, float],
+        dict[ExecutionMode, AccessCounters],
+        dict[str | None, float],
+        dict[str | None, AccessCounters],
+        dict[str | None, float],
+        dict[str, float],
+    ]:
+        if vectorized_sampling():
+            return self._aggregate_numpy(segments, plan, phi)
+        return self._aggregate_python(segments, plan, phi)
+
+    def _aggregate_python(
         self,
         segments: list[_Segment],
         plan: dict[str, tuple[float, float]],
@@ -489,6 +653,100 @@ class TimelineSimulator:
             invocations,
         )
 
+    def _aggregate_numpy(
+        self,
+        segments: list[_Segment],
+        plan: dict[str, tuple[float, float]],
+        phi: float,
+    ) -> tuple[
+        dict[ExecutionMode, float],
+        dict[ExecutionMode, AccessCounters],
+        dict[str | None, float],
+        dict[str | None, AccessCounters],
+        dict[str | None, float],
+        dict[str, float],
+    ]:
+        # Mirrors _aggregate_python operation-for-operation; per-mode
+        # and per-label counter accumulators are float64 vectors that
+        # are converted back once at the end.
+        clock = self.clock_hz
+        width = len(COUNTER_FIELDS)
+        mode_cycles: dict[ExecutionMode, float] = {mode: 0.0 for mode in ExecutionMode}
+        mode_vecs = {
+            mode: _np.zeros(width, dtype=_np.float64) for mode in ExecutionMode
+        }
+        label_cycles: dict[str | None, float] = {}
+        label_vecs: dict[str | None, object] = {}
+        label_instructions: dict[str | None, float] = {}
+        invocations: dict[str, float] = {}
+
+        source_walls: dict[int, float] = {}
+        sources: dict[int, tuple[RunStats, bool]] = {}
+        for segment in segments:
+            key = id(segment.source)
+            source_walls[key] = source_walls.get(key, 0.0) + segment.duration_s
+            sources[key] = (segment.source, segment.is_idle)
+
+        halt_idle = self.idle_policy == "halt"
+        for key, wall_s in source_walls.items():
+            source, is_idle = sources[key]
+            if is_idle and halt_idle:
+                mode_cycles[ExecutionMode.IDLE] += wall_s * clock
+                label_cycles["idle"] = label_cycles.get("idle", 0.0) + wall_s * clock
+                if "idle" not in label_vecs:
+                    label_vecs["idle"] = _np.zeros(width, dtype=_np.float64)
+                continue
+            target_cycles = wall_s * clock
+            factor = target_cycles / max(1, source.cycles)
+            if not is_idle:
+                factor *= 1.0 - phi
+            for label, stats in source.labels.items():
+                mode = ExecutionMode.IDLE if is_idle else mode_of_label(label)
+                cycles = stats.cycles * factor
+                mode_cycles[mode] += cycles
+                scaled = counters_to_vector(stats.counters) * factor
+                mode_vecs[mode] += scaled
+                label_cycles[label] = label_cycles.get(label, 0.0) + cycles
+                if label not in label_vecs:
+                    label_vecs[label] = _np.zeros(width, dtype=_np.float64)
+                label_vecs[label] += scaled
+                label_instructions[label] = (
+                    label_instructions.get(label, 0.0) + stats.instructions * factor
+                )
+
+        spec = self.profile.spec
+        duration = spec.compute_duration_s * self.speed_factor
+        for phase_spec in spec.phases.phases:
+            phase = self.profile.phases[phase_spec.name]
+            measured_cycles = max(1, phase.aggregate.cycles)
+            full_cycles = phase_spec.compute_fraction * duration * clock
+            factor = full_cycles * (1.0 - phi) / measured_cycles
+            for service, count in phase.invocations.items():
+                invocations[service] = invocations.get(service, 0.0) + count * factor
+
+        for service, (count, cycles) in plan.items():
+            svc_profile = self.service_profiles[service]
+            invocations[service] = invocations.get(service, 0.0) + count
+            label_cycles[service] = label_cycles.get(service, 0.0) + cycles
+            scaled = counters_to_vector(svc_profile.mean_counters) * count
+            if service not in label_vecs:
+                label_vecs[service] = _np.zeros(width, dtype=_np.float64)
+            label_vecs[service] += scaled
+            label_instructions[service] = (
+                label_instructions.get(service, 0.0)
+                + count * svc_profile.instructions_per_invocation
+            )
+            mode_cycles[ExecutionMode.KERNEL] += cycles
+            mode_vecs[ExecutionMode.KERNEL] += scaled
+        return (
+            mode_cycles,
+            {mode: counters_from_vector(vec) for mode, vec in mode_vecs.items()},
+            label_cycles,
+            {label: counters_from_vector(vec) for label, vec in label_vecs.items()},
+            label_instructions,
+            invocations,
+        )
+
     # ------------------------------------------------------------------
     # Public API
     # ------------------------------------------------------------------
@@ -567,8 +825,6 @@ def disk_power_series(
     disk: PowerManagedDisk, log: SimulationLog
 ) -> list[float]:
     """Average disk power per log interval, from the disk history."""
-    from repro.config.diskcfg import MK3003MAN_POWER_W
-
     series: list[float] = []
     history = disk.history
     h_index = 0

@@ -29,6 +29,7 @@ from repro.core.profiles import (
     Profiler,
     ServiceInvocationProfile,
 )
+from repro.power.processor import ProcessorPowerModel
 from repro.resilience.faults import FaultPlan
 from repro.resilience.runreport import RunReport
 from repro.resilience.supervisor import SupervisorPolicy, supervised_map
@@ -132,8 +133,6 @@ def run_profile_benchmark_task(task: ProfileBenchmarkTask) -> BenchmarkProfile:
 
 def run_profile_service_task(task: ProfileServiceTask) -> ServiceInvocationProfile:
     """Profile one kernel service on a fresh profiler (child-process entry)."""
-    from repro.power.processor import ProcessorPowerModel
-
     profiler = _make_profiler(task)
     model = ProcessorPowerModel(task.config)
     return profiler.profile_service(
@@ -141,6 +140,69 @@ def run_profile_service_task(task: ProfileServiceTask) -> ServiceInvocationProfi
         model,
         invocations=task.invocations,
         warmup=task.warmup,
+    )
+
+
+@dataclasses.dataclass(frozen=True)
+class SweepPointTask:
+    """Everything a child process needs to evaluate one design point.
+
+    Used by the campaign engine's structural tier: the child rebuilds a
+    fresh :class:`~repro.core.softwatt.SoftWatt` (hitting the shared
+    persistent profile cache when one is configured) and returns the
+    condensed :class:`~repro.core.campaign.SweepPoint`, which is small
+    and picklable — full results stay in the child.
+    """
+
+    value: object
+    config: SystemConfig
+    policy: object
+    benchmark: str
+    cpu_model: str
+    window_instructions: int
+    sample_interval_s: float
+    seed: int
+    idle_policy: str
+    cache_dir: object
+    use_cache: bool
+
+
+def run_sweep_point_task(task: SweepPointTask):
+    """Simulate one design point end to end (child-process entry)."""
+    # Imported lazily: campaign imports this module for the fan-out.
+    from repro.core.campaign import point_from_result  # noqa: PLC0415
+    from repro.core.softwatt import SoftWatt  # noqa: PLC0415
+
+    softwatt = SoftWatt(
+        config=task.config,
+        cpu_model=task.cpu_model,
+        window_instructions=task.window_instructions,
+        sample_interval_s=task.sample_interval_s,
+        seed=task.seed,
+        cache_dir=task.cache_dir,
+        use_cache=task.use_cache,
+    )
+    result = softwatt.run(
+        task.benchmark, disk=task.policy, idle_policy=task.idle_policy
+    )
+    return point_from_result(task.value, result)
+
+
+def sweep_points(
+    tasks: Iterable[SweepPointTask], *, workers: int = 1, **supervision
+) -> list:
+    """Evaluate many design points, fanning out when ``workers > 1``.
+
+    ``supervision`` forwards to :func:`parallel_map` (``task_timeout``,
+    ``retries``, ``best_effort``, ``fault_plan``, ``report``,
+    ``labels``).
+    """
+    tasks = list(tasks)
+    supervision.setdefault(
+        "labels", [f"{task.benchmark}:{task.value}" for task in tasks]
+    )
+    return parallel_map(
+        run_sweep_point_task, tasks, workers=workers, **supervision
     )
 
 

@@ -221,8 +221,6 @@ class ProcessorPowerModel:
 
 def r10000_max_power(technology: Technology | None = None) -> float:
     """The Section 2 validation number (~25.3 W vs the 30 W datasheet)."""
-    from repro.config.system import SystemConfig
-
     config = SystemConfig.table1()
     tech = technology if technology is not None else DEFAULT_TECHNOLOGY
     return ProcessorPowerModel(config, technology=tech).max_power_w()

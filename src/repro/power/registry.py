@@ -213,6 +213,20 @@ class PowerRegistry:
             component_category[component.name] = category
         return EnergyLedger._raw(component_j, category_j, component_category)
 
+    def reevaluate(self, model: "ProcessorPowerModel", log) -> EnergyLedger:
+        """Re-price a finished run's counters under a different model.
+
+        ``log`` is any object with ``total_counters()`` and
+        ``total_cycles()`` (a :class:`~repro.stats.simlog.SimulationLog`).
+        This is the ledger-tier sweep entry point: a power-only
+        parameter change (supply voltage, calibration) re-evaluates the
+        registry over cached counters instead of re-simulating, and the
+        result is bit-identical to a full re-run because the counters
+        are unchanged by construction.
+        """
+        cycles = int(log.total_cycles()) or 1
+        return self.evaluate(model, log.total_counters(), cycles)
+
 
 # ----------------------------------------------------------------------
 # Energy rules (term order matches the paper-era inline expressions)

@@ -32,8 +32,11 @@ makes retries and requeues bit-identical to a clean run.
 from __future__ import annotations
 
 import collections
+import concurrent.futures
 import dataclasses
 import time
+from concurrent.futures import FIRST_COMPLETED, wait
+from concurrent.futures.process import BrokenProcessPool
 from typing import Callable, Sequence, TypeVar
 
 from repro.resilience.faults import FaultPlan
@@ -203,8 +206,6 @@ class _Supervision:
     # -- pool execution -------------------------------------------------
 
     def run_pool(self, context, workers: int) -> None:
-        import concurrent.futures
-
         rebuilds = 0
         while self.pending:
             pool = concurrent.futures.ProcessPoolExecutor(
@@ -231,9 +232,6 @@ class _Supervision:
 
     def _drain(self, pool, workers: int) -> bool:
         """Feed the pool until done; True means the pool must be replaced."""
-        from concurrent.futures import FIRST_COMPLETED, wait
-        from concurrent.futures.process import BrokenProcessPool
-
         timeout = self.policy.task_timeout_s
         running: dict = {}  # future -> (index, submitted_at)
         while self.pending or running:
@@ -400,7 +398,9 @@ def supervised_map(
         state.run_serial(range(len(items)))
         return state.finish()
     try:
-        import multiprocessing
+        # Deliberately lazy: the serial path never initialises
+        # multiprocessing state.
+        import multiprocessing  # noqa: PLC0415
 
         context = multiprocessing.get_context("fork")
     except (ImportError, ValueError, OSError) as error:

@@ -36,7 +36,8 @@ def __getattr__(name: str):
     module_name = _LAZY.get(name)
     if module_name is None:
         raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
-    import importlib
+    # Deliberately lazy: module-level re-export without eager imports.
+    import importlib  # noqa: PLC0415
 
     module = importlib.import_module(module_name)
     return getattr(module, name)

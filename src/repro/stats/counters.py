@@ -54,6 +54,22 @@ COUNTER_FIELDS: tuple[str, ...] = (
 
 _FIELD_SET = frozenset(COUNTER_FIELDS)
 
+COUNTER_INDEX: dict[str, int] = {
+    name: index for index, name in enumerate(COUNTER_FIELDS)
+}
+"""Position of each counter in the fixed-order vector layout.
+
+The vectorized timeline paths (:func:`counters_to_vector` /
+:func:`counters_from_vector`) lay an :class:`AccessCounters` out as a
+float64 vector in :data:`COUNTER_FIELDS` declaration order; this index
+is the single definition of that layout (documented in DESIGN.md §9).
+"""
+
+try:
+    import numpy as _np
+except ImportError:  # pragma: no cover - numpy is a declared dependency
+    _np = None
+
 
 class UnknownCounterError(KeyError, AttributeError):
     """A counter name that is not one of :data:`COUNTER_FIELDS`.
@@ -148,6 +164,41 @@ class AccessCounters:
     def __repr__(self) -> str:
         nonzero = {name: value for name, value in self.items() if value}
         return f"AccessCounters({nonzero!r})"
+
+
+def counters_to_vector(counters: AccessCounters):
+    """The counters as a float64 vector in :data:`COUNTER_FIELDS` order.
+
+    Counter values are IEEE-754 doubles either way (Python floats and
+    int counts below 2**53 convert exactly), so arithmetic on the
+    vector is bit-identical to per-field arithmetic on the instance.
+    Raises :class:`RuntimeError` when numpy is unavailable — callers
+    gate on availability and keep a pure-Python path.
+    """
+    if _np is None:  # pragma: no cover - numpy is a declared dependency
+        raise RuntimeError("numpy is not available; use the per-field API")
+    return _np.array(
+        [getattr(counters, field) for field in COUNTER_FIELDS],
+        dtype=_np.float64,
+    )
+
+
+def counters_from_vector(vector) -> AccessCounters:
+    """Rebuild an :class:`AccessCounters` from a fixed-order vector.
+
+    Values become Python floats (an exact conversion from float64), so
+    downstream consumers see the same numbers the per-field path
+    produces.
+    """
+    counters = AccessCounters()
+    if len(vector) != len(COUNTER_FIELDS):
+        raise ValueError(
+            f"vector has {len(vector)} entries for "
+            f"{len(COUNTER_FIELDS)} counters"
+        )
+    for field, value in zip(COUNTER_FIELDS, vector):
+        setattr(counters, field, float(value))
+    return counters
 
 
 def rates_per_cycle(counters: AccessCounters, cycles: int) -> dict[str, float]:

@@ -20,7 +20,8 @@ from repro.stats.postprocess import PowerTrace
 from repro.stats.simlog import LogRecord, SimulationLog
 
 if TYPE_CHECKING:
-    from repro.power.ledger import EnergyLedger
+    # Deliberately lazy: stats must not import power at module scope.
+    from repro.power.ledger import EnergyLedger  # noqa: PLC0415
 
 LOG_SCHEMA_VERSION = 1
 
@@ -150,7 +151,8 @@ def write_ledger_json(
 
 def read_ledger_json(path: str | pathlib.Path) -> "EnergyLedger":
     """Load a ledger written by :func:`write_ledger_json`."""
-    from repro.power.ledger import EnergyLedger
+    # Deliberately lazy: stats must not import power at module scope.
+    from repro.power.ledger import EnergyLedger  # noqa: PLC0415
 
     document = json.loads(pathlib.Path(path).read_text())
     if document.get("version") != LEDGER_SCHEMA_VERSION:

@@ -1,0 +1,228 @@
+"""Tests for the tiered sweep campaign engine.
+
+Three layers:
+
+* classification — ``changed_leaves``/``classify`` and the planner,
+  pure config arithmetic, no simulation;
+* tier equivalence — a Tier-L (ledger) sweep must be *bit-identical*
+  to forcing every point through the legacy full re-simulation, and
+  the base point must reproduce ``tests/data/golden_energy.json``;
+* resilience — a structural sweep with an injected worker crash must
+  recover and match the clean sweep exactly.
+
+The simulation-backed tests share the golden snapshot's settings
+(jess, disk 1, seed 3, window 6000) so the base point doubles as a
+golden regression check.
+"""
+
+import dataclasses
+import json
+import pathlib
+
+import pytest
+
+from repro.config.diskcfg import DiskPowerPolicy
+from repro.config.system import SystemConfig
+from repro.core.campaign import (
+    PARAMETERS,
+    SPINDOWN_PARAMETER,
+    SweepCampaign,
+    Tier,
+    changed_leaves,
+    classify,
+)
+from repro.resilience.faults import FaultPlan
+
+GOLDEN = json.loads(
+    (pathlib.Path(__file__).parent / "data" / "golden_energy.json").read_text()
+)
+
+#: Golden-snapshot settings — every campaign below runs this machine.
+SETTINGS = dict(
+    benchmark="jess",
+    cpu_model="mxs",
+    disk=GOLDEN["disk"],
+    window_instructions=GOLDEN["window_instructions"],
+    seed=GOLDEN["seed"],
+    use_cache=False,
+)
+
+BASE = SystemConfig.table1()
+BASE_VDD = BASE.technology.vdd
+
+
+def _vdd_values():
+    """Two off-base points plus the base itself (the golden anchor)."""
+    return [round(BASE_VDD * 0.8, 6), round(BASE_VDD * 1.1, 6), BASE_VDD]
+
+
+def _point_fields(point):
+    return {
+        field.name: getattr(point, field.name)
+        for field in dataclasses.fields(point)
+    }
+
+
+# ---------------------------------------------------------------------------
+# Classification
+# ---------------------------------------------------------------------------
+
+
+class TestClassification:
+    def test_changed_leaves_reports_nested_paths(self):
+        other = PARAMETERS["vdd"](BASE, BASE_VDD * 0.9)
+        assert changed_leaves(BASE, other) == ["technology.vdd"]
+
+    def test_changed_leaves_empty_for_identical_configs(self):
+        assert changed_leaves(BASE, SystemConfig.table1()) == []
+
+    def test_ledger_leaves_classify_ledger(self):
+        for parameter in ("vdd", "calibration"):
+            other = PARAMETERS[parameter](BASE, 0.5)
+            assert classify(BASE, other) is Tier.LEDGER, parameter
+
+    def test_clock_classifies_timeline(self):
+        other = PARAMETERS["clock_hz"](BASE, 300e6)
+        assert classify(BASE, other) is Tier.TIMELINE
+
+    def test_structural_leaves_dominate(self):
+        other = PARAMETERS["vdd"](PARAMETERS["l1_size"](BASE, 16384), 1.2)
+        assert classify(BASE, other) is Tier.STRUCTURAL
+
+    def test_policy_change_is_at_least_timeline(self):
+        assert classify(BASE, BASE, policy_changed=True) is Tier.TIMELINE
+
+    def test_plan_classifies_base_value_as_ledger(self):
+        campaign = SweepCampaign(**SETTINGS)
+        plan = campaign.plan("l1_size", [16384, BASE.l1d.size_bytes])
+        assert [p.tier for p in plan] == [Tier.STRUCTURAL, Tier.LEDGER]
+
+    def test_plan_grid_covers_cartesian_product(self):
+        campaign = SweepCampaign(**SETTINGS)
+        plan = campaign.plan_grid(
+            {"vdd": [1.5, BASE_VDD], SPINDOWN_PARAMETER: [0.5, 2.0]}
+        )
+        assert len(plan) == 4
+        assert plan[0].label == "vdd=1.5,spindown_threshold_s=0.5"
+        assert plan[0].value == (1.5, 0.5)
+        # the policy axis drags every combo up to at least TIMELINE
+        assert all(p.tier is Tier.TIMELINE for p in plan)
+
+    def test_forcing_below_required_tier_raises(self):
+        campaign = SweepCampaign(tier="ledger", **SETTINGS)
+        with pytest.raises(ValueError, match="stale"):
+            campaign.plan("l1_size", [16384])
+
+    def test_unknown_parameter_rejected(self):
+        campaign = SweepCampaign(**SETTINGS)
+        with pytest.raises(ValueError, match="unknown parameter"):
+            campaign.plan("l9_size", [1])
+
+    def test_unknown_tier_name_rejected(self):
+        with pytest.raises(ValueError, match="unknown tier"):
+            SweepCampaign(tier="turbo", **SETTINGS)
+
+
+# ---------------------------------------------------------------------------
+# Tier equivalence (simulation-backed; fixtures share the expensive runs)
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def ledger_sweep():
+    campaign = SweepCampaign(**SETTINGS)
+    return campaign.run("vdd", _vdd_values())
+
+
+@pytest.fixture(scope="module")
+def full_sweep():
+    campaign = SweepCampaign(tier="full", **SETTINGS)
+    return campaign.run("vdd", _vdd_values())
+
+
+class TestTierEquivalence:
+    def test_tiers_recorded(self, ledger_sweep, full_sweep):
+        assert ledger_sweep.tiers == ("LEDGER",) * 3
+        assert full_sweep.tiers == ("STRUCTURAL",) * 3
+
+    def test_ledger_sweep_bit_identical_to_full(self, ledger_sweep, full_sweep):
+        assert len(ledger_sweep.points) == len(full_sweep.points)
+        for cheap, full in zip(ledger_sweep.points, full_sweep.points):
+            assert _point_fields(cheap) == _point_fields(full), cheap.value
+
+    def test_base_point_matches_golden_snapshot(self, ledger_sweep):
+        expected = GOLDEN["benchmarks"]["mxs/jess"]
+        base_point = ledger_sweep.points[-1]
+        assert base_point.value == BASE_VDD
+        assert base_point.energy_j == expected["total_energy_j"]
+
+    def test_vdd_scales_energy_monotonically(self, ledger_sweep):
+        low, high, base = ledger_sweep.points
+        assert low.energy_j < base.energy_j < high.energy_j
+
+    def test_clean_sweep_report_is_clean(self, ledger_sweep):
+        assert ledger_sweep.report is not None
+        assert not ledger_sweep.report.degraded
+
+
+class TestTimelineTier:
+    def test_spindown_sweep_matches_full(self):
+        thresholds = [0.5, 2.0]
+        cheap = SweepCampaign(**SETTINGS).run(SPINDOWN_PARAMETER, thresholds)
+        full = SweepCampaign(tier="full", **SETTINGS).run(
+            SPINDOWN_PARAMETER, thresholds
+        )
+        assert cheap.tiers == ("TIMELINE",) * 2
+        for cheap_point, full_point in zip(cheap.points, full.points):
+            assert _point_fields(cheap_point) == _point_fields(full_point)
+
+    def test_custom_policy_object_accepted(self):
+        policy = DiskPowerPolicy(name="always-on", spindown_threshold_s=1e9)
+        campaign = SweepCampaign(**{**SETTINGS, "disk": policy})
+        plan = campaign.plan("vdd", [BASE_VDD])
+        assert plan[0].tier is Tier.LEDGER
+
+
+# ---------------------------------------------------------------------------
+# Vectorized sampling: numpy and pure-Python paths are bit-identical
+# ---------------------------------------------------------------------------
+
+
+class TestVectorizedSampling:
+    def test_pure_python_fallback_is_bit_identical(self, monkeypatch,
+                                                   ledger_sweep):
+        from repro.core import timeline
+
+        if not timeline.vectorized_sampling():
+            pytest.skip("numpy unavailable; only one sampling path exists")
+        monkeypatch.setenv(timeline.PURE_PYTHON_ENV, "1")
+        assert not timeline.vectorized_sampling()
+        fallback = SweepCampaign(**SETTINGS).run("vdd", _vdd_values())
+        for numpy_point, python_point in zip(ledger_sweep.points,
+                                             fallback.points):
+            assert _point_fields(numpy_point) == _point_fields(python_point)
+
+
+# ---------------------------------------------------------------------------
+# Resilience: a crashed worker must not change the numbers
+# ---------------------------------------------------------------------------
+
+
+@pytest.mark.fault_injection
+class TestCrashRecovery:
+    def test_crashed_sweep_matches_clean_sweep(self):
+        sizes = [16384, 65536]
+        clean = SweepCampaign(**SETTINGS).run("l1_size", sizes)
+
+        faulted_campaign = SweepCampaign(
+            workers=2,
+            fault_plan=FaultPlan.parse("crash@1"),
+            **SETTINGS,
+        )
+        faulted = faulted_campaign.run("l1_size", sizes)
+
+        assert faulted.tiers == ("STRUCTURAL",) * 2
+        for clean_point, faulted_point in zip(clean.points, faulted.points):
+            assert _point_fields(clean_point) == _point_fields(faulted_point)
+        assert faulted.report is not None
+        assert faulted.report.degraded  # the crash was seen, not hidden

@@ -1,0 +1,101 @@
+"""Import hygiene: keep imports at module scope (ruff PLC0415).
+
+The container CI runs ``ruff check .`` with ``PLC0415`` selected, but
+ruff is an optional dev dependency; this test mirrors the rule with the
+stdlib ``ast`` module so the gate also holds wherever only the
+interpreter is available.
+
+Rules enforced over ``src/`` and ``scripts/``:
+
+* an ``import``/``from ... import`` statement nested inside a function
+  must carry a ``# noqa: PLC0415`` marker on its line — the marker is
+  the author asserting the laziness is deliberate (breaking an import
+  cycle, keeping a cold path cold), not an accident;
+* no import may sit inside a ``for``/``while`` loop body, marked or
+  not — a loop re-executes the statement and pays the ``sys.modules``
+  lookup every iteration for no benefit.
+
+Tests, benchmarks, and examples are exempt (mirroring the ruff
+per-file-ignores): they import lazily for skip logic and isolation.
+"""
+
+from __future__ import annotations
+
+import ast
+import pathlib
+
+REPO = pathlib.Path(__file__).resolve().parent.parent
+SCAN_ROOTS = ("src", "scripts")
+NOQA_MARKER = "noqa: PLC0415"
+
+
+def _python_files():
+    for root in SCAN_ROOTS:
+        yield from sorted((REPO / root).rglob("*.py"))
+
+
+def _import_nodes(tree: ast.AST):
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.Import, ast.ImportFrom)):
+            yield node
+
+
+def _nodes_with_ancestry(tree: ast.AST):
+    """Walk the tree yielding ``(node, ancestors)`` pairs."""
+    stack = [(tree, ())]
+    while stack:
+        node, ancestors = stack.pop()
+        yield node, ancestors
+        for child in ast.iter_child_nodes(node):
+            stack.append((child, ancestors + (node,)))
+
+
+def _line(source_lines: list[str], node: ast.AST) -> str:
+    return source_lines[node.lineno - 1]
+
+
+def test_function_level_imports_are_marked_deliberate():
+    offenders = []
+    for path in _python_files():
+        source = path.read_text()
+        lines = source.splitlines()
+        tree = ast.parse(source, filename=str(path))
+        for node, ancestors in _nodes_with_ancestry(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            in_function = any(
+                isinstance(a, (ast.FunctionDef, ast.AsyncFunctionDef))
+                for a in ancestors
+            )
+            if not in_function:
+                continue
+            if NOQA_MARKER not in _line(lines, node):
+                offenders.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: "
+                    f"{_line(lines, node).strip()}"
+                )
+    assert not offenders, (
+        "function-level imports without a '# noqa: PLC0415' marker "
+        "(hoist them to module scope, or mark them deliberate):\n  "
+        + "\n  ".join(offenders)
+    )
+
+
+def test_no_imports_inside_loops():
+    offenders = []
+    for path in _python_files():
+        source = path.read_text()
+        lines = source.splitlines()
+        tree = ast.parse(source, filename=str(path))
+        for node, ancestors in _nodes_with_ancestry(tree):
+            if not isinstance(node, (ast.Import, ast.ImportFrom)):
+                continue
+            if any(isinstance(a, (ast.For, ast.While)) for a in ancestors):
+                offenders.append(
+                    f"{path.relative_to(REPO)}:{node.lineno}: "
+                    f"{_line(lines, node).strip()}"
+                )
+    assert not offenders, (
+        "imports inside for/while loops (hoist them out):\n  "
+        + "\n  ".join(offenders)
+    )
