@@ -24,8 +24,10 @@ runs.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import os
+import pickle
 import platform
 import shutil
 import sys
@@ -43,8 +45,13 @@ from repro.core.timeline import (  # noqa: E402
     TimelineSimulator,
     vectorized_sampling,
 )
+from repro.cpu.batch import (  # noqa: E402
+    BatchTask,
+    batched_execution,
+    profile_benchmarks_batched,
+)
 from repro.stats.postprocess import total_energy_j  # noqa: E402
-from repro.workloads.specjvm98 import benchmark  # noqa: E402
+from repro.workloads.specjvm98 import BENCHMARK_NAMES, benchmark  # noqa: E402
 
 SEED_BASELINE = {
     "commit": "1c2e9c5",
@@ -66,6 +73,32 @@ def _time(fn, repeats: int) -> dict:
         result = fn()
         times.append(time.perf_counter() - start)
     return {"best_s": min(times), "times_s": times, "_result": result}
+
+
+def _profile_instructions(profile) -> int:
+    """Detailed-simulation instructions recorded in one profile."""
+    total = profile.idle.stats.instructions
+    for phase in profile.phases.values():
+        total += sum(chunk.instructions for chunk in phase.chunks)
+    return total
+
+
+def _batch_configs(count: int) -> list:
+    """Structurally distinct configs for the batched-suite lanes
+    (mirrors the tiered-campaign structural axis)."""
+    base = SystemConfig.table1()
+    configs = []
+    for index in range(count):
+        tlb = dataclasses.replace(
+            base.tlb, entries=(48, 64, 96, 128)[index % 4]
+        )
+        l2 = dataclasses.replace(
+            base.l2,
+            size_bytes=(512 * 1024, 1024 * 1024)[(index // 4) % 2],
+            associativity=(2, 4)[(index // 8) % 2] if index >= 8 else base.l2.associativity,
+        )
+        configs.append(dataclasses.replace(base, tlb=tlb, l2=l2))
+    return configs
 
 
 def _suite_fingerprint(results) -> list:
@@ -114,10 +147,88 @@ def main() -> int:
             ).profile_benchmark(spec),
             args.repeats,
         )
-        timing.pop("_result")
+        instructions = _profile_instructions(timing.pop("_result"))
+        timing["instructions"] = instructions
+        timing["instructions_per_sec"] = round(
+            instructions / timing["best_s"], 1
+        )
         report[f"hot_loop_{model}"] = timing
         print(f"hot loop ({model}, jess, window {window}): "
-              f"{timing['best_s']:.3f} s best of {args.repeats}")
+              f"{timing['best_s']:.3f} s best of {args.repeats} "
+              f"({timing['instructions_per_sec']:,.0f} instr/s)")
+
+    # Batched SoA execution: many (config, benchmark) lanes advanced in
+    # lockstep by repro.cpu.batch vs the serial scalar Mipsy core.  The
+    # stage uses its own lane count and window (the batch engine's
+    # sweet spot is wide batches); the serial arm times one config's
+    # six benchmarks and the identity check compares those lanes
+    # field-for-field against the batched output.
+    batch_stage: dict = {"enabled": batched_execution()}
+    if batched_execution():
+        n_configs = 4 if args.quick else 24
+        batch_window = 12_000 if args.quick else 60_000
+        configs = _batch_configs(n_configs)
+        tasks = [
+            BatchTask(
+                spec=benchmark(name), config=config,
+                window_instructions=batch_window, seed=seed,
+            )
+            for config in configs
+            for name in BENCHMARK_NAMES
+        ]
+        serial_timing = _time(
+            lambda: [
+                Profiler(
+                    config=configs[0], cpu_model="mipsy",
+                    window_instructions=batch_window, seed=seed,
+                ).profile_benchmark(benchmark(name))
+                for name in BENCHMARK_NAMES
+            ],
+            1,
+        )
+        serial_profiles = serial_timing.pop("_result")
+        serial_instructions = sum(
+            _profile_instructions(p) for p in serial_profiles
+        )
+        batched_timing = _time(lambda: profile_benchmarks_batched(tasks), 1)
+        batched_profiles = batched_timing.pop("_result")
+        batched_instructions = sum(
+            _profile_instructions(p) for p in batched_profiles
+        )
+        identical = all(
+            pickle.dumps(batched_profiles[i]) == pickle.dumps(serial_profiles[i])
+            for i in range(len(BENCHMARK_NAMES))
+        )
+        serial_ips = serial_instructions / serial_timing["best_s"]
+        batched_ips = batched_instructions / batched_timing["best_s"]
+        batch_stage.update({
+            "lanes": len(tasks),
+            "window_instructions": batch_window,
+            "serial_sample_lanes": len(BENCHMARK_NAMES),
+            "serial": {
+                **serial_timing,
+                "instructions": serial_instructions,
+                "instructions_per_sec": round(serial_ips, 1),
+            },
+            "batched": {
+                **batched_timing,
+                "instructions": batched_instructions,
+                "instructions_per_sec": round(batched_ips, 1),
+            },
+            "speedup": round(batched_ips / serial_ips, 2),
+            "bit_identical_to_serial": identical,
+        })
+        print(f"batched suite ({len(tasks)} lanes, window {batch_window}): "
+              f"serial {serial_ips:,.0f} instr/s, batched "
+              f"{batched_ips:,.0f} instr/s ({batch_stage['speedup']}x, "
+              f"bit-identical: {identical})")
+        if not identical:
+            print("ERROR: batched execution diverged from serial scalar",
+                  file=sys.stderr)
+            return 1
+    else:
+        print("batched suite: skipped (REPRO_PURE_PYTHON or no numpy)")
+    report["batched_suite"] = batch_stage
 
     # Layer 1: cold suite, serial vs process-pool fan-out.
     serial = _time(

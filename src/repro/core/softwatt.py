@@ -168,6 +168,75 @@ class SoftWatt:
         self._profiles[spec.name] = profile
         return profile
 
+    @staticmethod
+    def prefetch_profiles(
+        instances: "list[SoftWatt]",
+        names=BENCHMARK_NAMES,
+    ) -> int:
+        """Batch-profile uncached (instance, benchmark) pairs in lockstep.
+
+        Every Mipsy run across ``instances`` × ``names`` that misses
+        both the in-memory and persistent caches becomes one lane of the
+        batched SoA engine (:mod:`repro.cpu.batch`); results — which
+        are bit-identical to each instance profiling serially — are
+        stored back into each instance's caches, so later
+        :meth:`profile` calls are hits.  A structural sweep over many
+        configurations therefore costs one lockstep simulation instead
+        of one scalar simulation per point.
+
+        No-op (returning 0) when the batched engine is disabled
+        (``REPRO_PURE_PYTHON=1`` or no numpy) or when fewer than
+        :data:`~repro.cpu.batch.BATCH_MIN_RUNS` runs are pending — the
+        scalar path wins below the lockstep breakeven.  Returns the
+        number of profiles computed.
+        """
+        from repro.cpu.batch import (  # noqa: PLC0415 — keep numpy lazy
+            BATCH_MIN_RUNS,
+            BatchTask,
+            batched_execution,
+            profile_benchmarks_batched,
+        )
+
+        if not batched_execution():
+            return 0
+        pairs: list[tuple[SoftWatt, BenchmarkSpec]] = []
+        for sw in instances:
+            if sw.cpu_model != "mipsy":
+                continue
+            for name in names:
+                spec = benchmark(name) if isinstance(name, str) else name
+                cached = sw._profiles.get(spec.name)
+                if cached is not None and cached.spec == spec:
+                    continue
+                if sw.cache is not None:
+                    profile = sw.cache.load_profile(
+                        sw._profile_key(spec), spec=spec, config=sw.config
+                    )
+                    if profile is not None:
+                        sw._profiles[spec.name] = profile
+                        continue
+                pairs.append((sw, spec))
+        if len(pairs) < BATCH_MIN_RUNS:
+            return 0
+        tasks = [
+            BatchTask(
+                spec=spec,
+                config=sw.config,
+                window_instructions=sw.profiler.window_instructions,
+                startup_chunks=sw.profiler.startup_chunks,
+                steady_chunks=sw.profiler.steady_chunks,
+                seed=sw.seed,
+            )
+            for sw, spec in pairs
+        ]
+        profiles = profile_benchmarks_batched(tasks)
+        for (sw, spec), profile in zip(pairs, profiles):
+            sw._profiles[spec.name] = profile
+            sw.profiler.detailed_runs += 1
+            if sw.cache is not None:
+                sw.cache.store_profile(sw._profile_key(spec), profile)
+        return len(pairs)
+
     def profile_many(
         self,
         names: tuple[str, ...] = BENCHMARK_NAMES,
@@ -187,6 +256,9 @@ class SoftWatt:
         workers = self.workers if workers is None else workers
         specs = [benchmark(name) if isinstance(name, str) else name for name in names]
         report = RunReport()
+        # Uncached mipsy runs past the lockstep breakeven go through the
+        # batched SoA engine in one pass (bit-identical to the loop).
+        SoftWatt.prefetch_profiles([self], specs)
         if workers <= 1:
             profiles = {spec.name: self.profile(spec) for spec in specs}
             return self._attach_report(profiles, report)

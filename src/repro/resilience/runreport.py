@@ -61,6 +61,9 @@ class RunReport:
     pool_breaks: int = 0
     pool_restarts: int = 0
     serial_fallback: bool = False
+    effective_workers: int = 0
+    """Worker count actually used after capping at ``os.cpu_count()``
+    (0 until a supervised stage has run)."""
 
     # -- recording ------------------------------------------------------
 
@@ -79,6 +82,9 @@ class RunReport:
         self.pool_breaks += other.pool_breaks
         self.pool_restarts += other.pool_restarts
         self.serial_fallback = self.serial_fallback or other.serial_fallback
+        self.effective_workers = max(
+            self.effective_workers, other.effective_workers
+        )
 
     # -- queries --------------------------------------------------------
 
@@ -113,6 +119,7 @@ class RunReport:
             "pool_breaks": self.pool_breaks,
             "pool_restarts": self.pool_restarts,
             "serial_fallback": self.serial_fallback,
+            "effective_workers": self.effective_workers,
         }
 
     def summary(self) -> str:

@@ -34,6 +34,7 @@ from __future__ import annotations
 import collections
 import concurrent.futures
 import dataclasses
+import os
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
 from concurrent.futures.process import BrokenProcessPool
@@ -392,9 +393,18 @@ def supervised_map(
             raise ValueError(
                 f"{len(label_list)} labels for {len(items)} items"
             )
+    # Oversubscribing a small host loses outright (context switches on
+    # a 1-core machine make the parallel suite *slower* than serial),
+    # so the effective pool size is capped at the core count; the
+    # report records what was actually used.  The pool-vs-serial choice
+    # still follows the *requested* count, so asking for workers keeps
+    # process isolation even on a single core.
+    requested = max(1, workers)
+    workers = min(requested, os.cpu_count() or 1, max(1, len(items)))
     state = _Supervision(fn, items, label_list, policy, fault_plan)
-    pool_wanted = (workers > 1) if use_pool is None else use_pool
+    pool_wanted = (requested > 1) if use_pool is None else use_pool
     if not pool_wanted or len(items) <= 1:
+        state.report.effective_workers = 1
         state.run_serial(range(len(items)))
         return state.finish()
     try:
@@ -405,6 +415,7 @@ def supervised_map(
         context = multiprocessing.get_context("fork")
     except (ImportError, ValueError, OSError) as error:
         state.report.serial_fallback = True
+        state.report.effective_workers = 1
         state.degrade(
             "pool-unavailable",
             f"cannot create fork worker pool ({type(error).__name__}: "
@@ -412,5 +423,6 @@ def supervised_map(
         )
         state.run_serial(range(len(items)))
         return state.finish()
-    state.run_pool(context, max(1, workers))
+    state.report.effective_workers = workers
+    state.run_pool(context, workers)
     return state.finish()

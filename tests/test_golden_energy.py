@@ -77,3 +77,29 @@ def test_run_totals_bit_identical(golden, results):
 def test_budget_order_follows_registry(results):
     for key, result in results.items():
         assert tuple(result.power_budget()) == CATEGORIES, key
+
+
+def test_batched_prefetch_reproduces_golden_energies(golden, monkeypatch):
+    """End-to-end pin of the batched SoA engine: profiles prefetched in
+    one lockstep pass must yield the exact golden run energies."""
+    import repro.cpu.batch as batch
+
+    if not batch.batched_execution():
+        pytest.skip("batched execution disabled (REPRO_PURE_PYTHON/no numpy)")
+    names = tuple(
+        key.split("/")[1] for key in golden["benchmarks"]
+        if key.startswith("mipsy/")
+    )
+    softwatt = SoftWatt(
+        cpu_model="mipsy",
+        window_instructions=golden["window_instructions"],
+        seed=golden["seed"],
+        use_cache=False,
+    )
+    monkeypatch.setattr(batch, "BATCH_MIN_RUNS", 2)
+    assert SoftWatt.prefetch_profiles([softwatt], names) == len(names)
+    for name in names:
+        result = softwatt.run(name, disk=golden["disk"])
+        expected = golden["benchmarks"][f"mipsy/{name}"]
+        assert result.total_energy_j == expected["total_energy_j"], name
+        assert result.disk_energy_j == expected["disk_energy_j"], name

@@ -167,3 +167,171 @@ class TestTimingTreeProperties:
             tree.exit(stack.pop())
         assert tree.current_path == ("root",)
         assert tree.root.cycles == pytest.approx(len(names))
+
+
+class TestBatchedMipsyEquivalence:
+    """The batched SoA engine (repro.cpu.batch) advances many runs in
+    lockstep; every lane must be bit-identical to a fresh scalar
+    Profiler run of the same (spec, config, window, seed)."""
+
+    pytestmark = pytest.mark.skipif(
+        "not __import__('repro.cpu.batch', fromlist=['x']).batched_execution()",
+        reason="batched execution disabled (REPRO_PURE_PYTHON or no numpy)",
+    )
+
+    @staticmethod
+    def _scalar(name, config, window, seed):
+        import pickle
+
+        from repro.core.profiles import Profiler
+        from repro.workloads.specjvm98 import benchmark
+
+        profile = Profiler(
+            config=config, cpu_model="mipsy",
+            window_instructions=window, seed=seed,
+        ).profile_benchmark(benchmark(name))
+        return pickle.dumps(profile)
+
+    @staticmethod
+    def _batched(tasks):
+        import pickle
+
+        from repro.cpu.batch import profile_benchmarks_batched
+
+        return [pickle.dumps(p) for p in profile_benchmarks_batched(tasks)]
+
+    @given(
+        seed=st.integers(0, 2**16),
+        window=st.sampled_from([1500, 2000, 3000]),
+        names=st.lists(
+            st.sampled_from(["jess", "db", "compress", "jack"]),
+            min_size=1, max_size=3, unique=True,
+        ),
+    )
+    @settings(max_examples=6, deadline=None)
+    def test_bit_identical_across_seeds_and_windows(self, seed, window,
+                                                    names):
+        from repro.config.system import SystemConfig
+        from repro.cpu.batch import BatchTask
+        from repro.workloads.specjvm98 import benchmark
+
+        config = SystemConfig.table1()
+        tasks = [
+            BatchTask(spec=benchmark(name), config=config,
+                      window_instructions=window, seed=seed)
+            for name in names
+        ]
+        for name, blob in zip(names, self._batched(tasks)):
+            assert blob == self._scalar(name, config, window, seed), name
+
+    @given(
+        windows=st.lists(
+            st.sampled_from([1200, 1800, 2600, 4000]),
+            min_size=2, max_size=5,
+        ),
+    )
+    @settings(max_examples=4, deadline=None)
+    def test_ragged_batch_shapes(self, windows):
+        """Lanes with different windows (and seeds) retire at different
+        lockstep steps; masking must keep every lane exact."""
+        from repro.config.system import SystemConfig
+        from repro.cpu.batch import BatchTask
+        from repro.workloads.specjvm98 import benchmark
+
+        config = SystemConfig.table1()
+        names = ["jess", "db", "javac", "mtrt", "jack"]
+        tasks = [
+            BatchTask(spec=benchmark(names[i % len(names)]), config=config,
+                      window_instructions=window, seed=i)
+            for i, window in enumerate(windows)
+        ]
+        for task, blob in zip(tasks, self._batched(tasks)):
+            assert blob == self._scalar(
+                task.spec.name, config, task.window_instructions, task.seed
+            ), (task.spec.name, task.window_instructions, task.seed)
+
+    def test_hardware_tlb_lane_uses_general_path(self):
+        """A hardware-refill TLB lane forces the general step path (the
+        fast path requires every TLB to be software-managed); both
+        paths must stay exact, also when mixed in one batch."""
+        import dataclasses
+
+        from repro.config.system import SystemConfig
+        from repro.cpu.batch import BatchTask
+        from repro.workloads.specjvm98 import benchmark
+
+        base = SystemConfig.table1()
+        hw = dataclasses.replace(
+            base, tlb=dataclasses.replace(base.tlb, software_managed=False)
+        )
+        tasks = [
+            BatchTask(spec=benchmark("jess"), config=hw,
+                      window_instructions=2000, seed=5),
+            BatchTask(spec=benchmark("db"), config=base,
+                      window_instructions=2000, seed=5),
+        ]
+        blobs = self._batched(tasks)
+        assert blobs[0] == self._scalar("jess", hw, 2000, 5)
+        assert blobs[1] == self._scalar("db", base, 2000, 5)
+
+
+class TestBatchedExecutionGate:
+    def test_pure_python_env_forces_scalar(self, monkeypatch):
+        import repro.cpu.batch as batch
+
+        monkeypatch.setenv("REPRO_PURE_PYTHON", "1")
+        assert not batch.batched_execution()
+        with pytest.raises(RuntimeError):
+            from repro.config.system import SystemConfig
+            from repro.workloads.specjvm98 import benchmark
+
+            batch.profile_benchmarks_batched([
+                batch.BatchTask(spec=benchmark("jess"),
+                                config=SystemConfig.table1())
+            ])
+        monkeypatch.setenv("REPRO_PURE_PYTHON", "0")
+        assert batch.batched_execution() == (batch._np is not None)
+
+    def test_pure_python_env_forces_dict_issue_tables(self, monkeypatch):
+        import repro.cpu.mxs as mxs
+        from repro.config.system import SystemConfig
+
+        monkeypatch.setenv("REPRO_PURE_PYTHON", "1")
+        assert not mxs.vectorized_issue()
+        cpu = mxs.MXSProcessor(SystemConfig.table1())
+        assert cpu._vec_issue is None
+        monkeypatch.delenv("REPRO_PURE_PYTHON")
+        cpu = mxs.MXSProcessor(SystemConfig.table1())
+        assert (cpu._vec_issue is not None) == (mxs._np is not None)
+
+
+class TestMxsIssueRingEquivalence:
+    """The tag-validated ring tables must time identically to the dict
+    tables they replace (REPRO_PURE_PYTHON=1 selects the dicts)."""
+
+    pytestmark = pytest.mark.skipif(
+        "not __import__('repro.cpu.mxs', fromlist=['x']).vectorized_issue()",
+        reason="numpy issue tables disabled (REPRO_PURE_PYTHON or no numpy)",
+    )
+
+    @given(seed=st.integers(0, 2**16))
+    @settings(max_examples=4, deadline=None)
+    def test_ring_tables_bit_identical_to_dicts(self, seed):
+        import os
+        import pickle
+
+        from repro.core.profiles import Profiler
+        from repro.workloads.specjvm98 import benchmark
+
+        def run():
+            return pickle.dumps(
+                Profiler(cpu_model="mxs", window_instructions=2000,
+                         seed=seed).profile_benchmark(benchmark("jess"))
+            )
+
+        vectorized = run()
+        os.environ["REPRO_PURE_PYTHON"] = "1"
+        try:
+            assert run() == vectorized
+        finally:
+            os.environ.pop("REPRO_PURE_PYTHON", None)
