@@ -15,11 +15,12 @@ or equivalently ``python -m repro ...``.
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 from collections import Counter
 
 from repro.config.diskcfg import DiskPowerPolicy
-from repro.config.system import ConfigError
+from repro.config.system import ConfigError, FidelityConfig, FidelityTier
 from repro.core.report import MODE_ORDER, BenchmarkResult
 from repro.core.softwatt import SoftWatt
 from repro.kernel.modes import KERNEL_SERVICES
@@ -49,12 +50,34 @@ def _add_resilience(parser: argparse.ArgumentParser) -> None:
                              "(KIND@INDEX[xATTEMPTS]; exercises recovery)")
 
 
+def _add_fidelity(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--fidelity",
+                        choices=("detailed", "sampled", "atomic"),
+                        default="detailed",
+                        help="execution tier for the profiling stage: "
+                             "detailed cycle-level cores, SMARTS-style "
+                             "periodic sampling, or the atomic functional "
+                             "tier (default: detailed)")
+    parser.add_argument("--sample-period", type=int, default=None,
+                        metavar="N",
+                        help="sampled tier: instructions per sampling "
+                             "period (default: 7000)")
+    parser.add_argument("--sample-window", type=int, default=None,
+                        metavar="N",
+                        help="sampled tier: detailed measured instructions "
+                             "per period (default: 900)")
+    parser.add_argument("--warmup", type=int, default=None, metavar="N",
+                        help="sampled tier: detailed warmup instructions "
+                             "before each measured window (default: 300)")
+
+
 def _add_common(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--cpu", choices=("mxs", "mipsy"), default="mxs",
                         help="CPU timing model (default: mxs)")
     parser.add_argument("--window", type=int, default=40_000,
                         help="detailed-window instructions (default: 40000)")
     parser.add_argument("--seed", type=int, default=1)
+    _add_fidelity(parser)
     parser.add_argument("--checkpoint", metavar="FILE",
                         help="load profiles from / save profiles to FILE")
     parser.add_argument("--workers", type=int, default=1,
@@ -98,9 +121,31 @@ def _finish(softwatt: SoftWatt, args: argparse.Namespace) -> int:
     return 0
 
 
+def _fidelity_kwarg(args: argparse.Namespace):
+    """The ``fidelity`` argument for SoftWatt, or None for the default.
+
+    Returns None when the CLI asked for plain detailed execution so the
+    config stays the pristine Table 1 default (and existing cache keys
+    are untouched).
+    """
+    tier = getattr(args, "fidelity", None) or "detailed"
+    overrides = {
+        name: value
+        for name in ("sample_period", "sample_window", "warmup")
+        if (value := getattr(args, name, None)) is not None
+    }
+    if tier == "detailed" and not overrides:
+        return None
+    fidelity = FidelityConfig(tier=FidelityTier.parse(tier))
+    if overrides:
+        fidelity = dataclasses.replace(fidelity, **overrides)
+    return fidelity
+
+
 def _make_softwatt(args: argparse.Namespace) -> SoftWatt:
     softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
                         seed=args.seed,
+                        fidelity=_fidelity_kwarg(args),
                         workers=getattr(args, "workers", 1),
                         cache_dir=getattr(args, "cache_dir", None),
                         use_cache=not getattr(args, "no_cache", False),
@@ -338,6 +383,12 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
             f"{tier.lower()} x{count}" for tier, count in counts.items()
         )
         print(f"tiers: {summary}")
+    if any(fidelity != "detailed" for fidelity in result.fidelities):
+        counts = Counter(result.fidelities)
+        summary = ", ".join(
+            f"{fidelity} x{count}" for fidelity, count in counts.items()
+        )
+        print(f"fidelity: {summary}")
     best = result.best_by_edp()
     print(f"best EDP at {result.parameter}={best.value}: "
           f"{best.energy_delay_product:.1f} Js")
@@ -353,6 +404,7 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
 def cmd_checkpoint(args: argparse.Namespace) -> int:
     softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
                         seed=args.seed, workers=args.workers,
+                        fidelity=_fidelity_kwarg(args),
                         cache_dir=args.cache_dir,
                         use_cache=not args.no_cache,
                         **_resilience_kwargs(args))
@@ -436,10 +488,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--grid", metavar="PARAM=V1,V2,...", action="append",
                    help="additional axis for a multi-parameter grid sweep "
                         "(repeatable; points are the cartesian product)")
-    p.add_argument("--tier", choices=("auto", "ledger", "timeline", "full"),
+    p.add_argument("--tier",
+                   choices=("auto", "ledger", "timeline", "full",
+                            "sampled", "atomic"),
                    default="auto",
                    help="force every point through one tier (default: "
-                        "classify each point by what it invalidates)")
+                        "classify each point by what it invalidates); "
+                        "'sampled'/'atomic' re-simulate every point on "
+                        "that cheaper execution tier")
     p.add_argument("--workers", type=int, default=1,
                    help="processes for structural points (default: 1)")
     p.add_argument("--cache-dir", metavar="DIR",
@@ -460,6 +516,7 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--workers", type=int, default=1)
     p.add_argument("--cache-dir", metavar="DIR")
     p.add_argument("--no-cache", action="store_true")
+    _add_fidelity(p)
     _add_resilience(p)
     p.set_defaults(func=cmd_checkpoint)
 

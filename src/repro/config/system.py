@@ -9,6 +9,7 @@ produces the 1-wide configuration used for the Figure 3 comparison.
 from __future__ import annotations
 
 import dataclasses
+import enum
 
 from repro.config.technology import Technology, DEFAULT_TECHNOLOGY
 
@@ -128,6 +129,64 @@ class CoreConfig:
         )
 
 
+class FidelityTier(str, enum.Enum):
+    """Execution fidelity of the profiling stage.
+
+    Mirrors gem5's AtomicSimpleCPU / TimingSimpleCPU / O3CPU ladder:
+    every tier produces the same :class:`BenchmarkProfile` shape, so the
+    timeline replay and power registry downstream are identical — only
+    how the counters and cycle totals are *obtained* changes.
+
+    ``DETAILED``
+        The cycle-level mipsy/mxs cores, bit-identical to the golden
+        pins.  The only tier allowed to populate golden caches.
+    ``SAMPLED``
+        SMARTS-style periodic sampling: each period runs a detailed
+        warmup (state only) plus a detailed measured window, then skips
+        the rest of the period; counters are extrapolated from the
+        measured windows.  Cache/TLB/branch-predictor state stays live
+        across the whole run.
+    ``ATOMIC``
+        One functional streaming pass over a slice of each profiling
+        chunk — real memory hierarchy, real branch predictor, analytic
+        cycle accounting, no per-cycle pipeline modeling — extrapolated
+        to the full chunk.
+    """
+
+    ATOMIC = "atomic"
+    SAMPLED = "sampled"
+    DETAILED = "detailed"
+
+    @classmethod
+    def parse(cls, value: "FidelityTier | str") -> "FidelityTier":
+        if isinstance(value, cls):
+            return value
+        try:
+            return cls(str(value).lower())
+        except ValueError:
+            choices = ", ".join(tier.value for tier in cls)
+            raise ConfigError(
+                "fidelity.tier", f"unknown tier {value!r}; choose one of {choices}"
+            ) from None
+
+
+@dataclasses.dataclass(frozen=True)
+class FidelityConfig:
+    """Knobs for the sub-detailed execution tiers.
+
+    The sampling parameters are expressed in instructions and follow the
+    SMARTS vocabulary: out of every ``sample_period`` instructions the
+    sampled tier simulates ``warmup`` (discarded, state-carrying) plus
+    ``sample_window`` (measured) in detail and fast-forwards the rest.
+    The defaults give a ~5.8x sampling ratio (7000 / (300 + 900)).
+    """
+
+    tier: FidelityTier = FidelityTier.DETAILED
+    sample_period: int = 7000
+    sample_window: int = 900
+    warmup: int = 300
+
+
 @dataclasses.dataclass(frozen=True)
 class MemoryConfig:
     """Main-memory parameters."""
@@ -152,6 +211,7 @@ class SystemConfig:
     tlb: TLBConfig
     memory: MemoryConfig
     technology: Technology = DEFAULT_TECHNOLOGY
+    fidelity: FidelityConfig = FidelityConfig()
 
     @classmethod
     def table1(cls) -> "SystemConfig":
@@ -285,6 +345,34 @@ class SystemConfig:
                 f"feature size must be positive, got "
                 f"{technology.feature_size_um}",
             )
+        fidelity = self.fidelity
+        if not isinstance(fidelity, FidelityConfig):
+            raise ConfigError(
+                "fidelity", f"expected a FidelityConfig, got {type(fidelity).__name__}"
+            )
+        if not isinstance(fidelity.tier, FidelityTier):
+            raise ConfigError(
+                "fidelity.tier",
+                f"expected a FidelityTier, got {fidelity.tier!r} "
+                f"(use FidelityTier.parse)",
+            )
+        if fidelity.sample_window <= 0:
+            raise ConfigError(
+                "fidelity.sample_window",
+                f"measured window must be positive, got {fidelity.sample_window}",
+            )
+        if fidelity.warmup < 0:
+            raise ConfigError(
+                "fidelity.warmup",
+                f"warmup length cannot be negative, got {fidelity.warmup}",
+            )
+        if fidelity.sample_period < fidelity.warmup + fidelity.sample_window:
+            raise ConfigError(
+                "fidelity.sample_period",
+                f"period ({fidelity.sample_period}) must cover warmup + window "
+                f"({fidelity.warmup} + {fidelity.sample_window}); a period equal "
+                f"to warmup + window degenerates to the detailed tier",
+            )
         return self
 
     def single_issue(self) -> "SystemConfig":
@@ -296,3 +384,36 @@ class SystemConfig:
         return dataclasses.replace(
             self, tlb=dataclasses.replace(self.tlb, software_managed=False)
         )
+
+    def with_fidelity(
+        self,
+        fidelity: FidelityConfig | FidelityTier | str,
+        *,
+        sample_period: int | None = None,
+        sample_window: int | None = None,
+        warmup: int | None = None,
+    ) -> "SystemConfig":
+        """Return a copy running at the given fidelity tier.
+
+        ``fidelity`` may be a full :class:`FidelityConfig`, a
+        :class:`FidelityTier`, or a tier name; the keyword overrides
+        adjust individual sampling parameters on top.
+        """
+        if isinstance(fidelity, FidelityConfig):
+            resolved = fidelity
+        else:
+            resolved = dataclasses.replace(
+                self.fidelity, tier=FidelityTier.parse(fidelity)
+            )
+        overrides = {
+            name: value
+            for name, value in (
+                ("sample_period", sample_period),
+                ("sample_window", sample_window),
+                ("warmup", warmup),
+            )
+            if value is not None
+        }
+        if overrides:
+            resolved = dataclasses.replace(resolved, **overrides)
+        return dataclasses.replace(self, fidelity=resolved)

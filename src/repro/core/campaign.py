@@ -27,6 +27,17 @@ unchanged (pinned by ``tests/test_campaign.py`` against the golden
 energies).  The tier classification table lives in
 :data:`LEDGER_LEAVES` / :data:`TIMELINE_LEAVES` and is documented in
 DESIGN.md §9.
+
+Below the structural tier sit two *fidelity rungs* (``tier="atomic"``
+or ``tier="sampled"``, see :data:`FIDELITY_RUNGS` and DESIGN.md §11):
+the point still re-simulates, but on a cheaper CPU execution tier
+(:class:`~repro.config.system.FidelityTier`), trading bounded counter
+error for an order-of-magnitude sweep speedup.  Unlike the
+invalidation tiers these are approximations; the chosen fidelity is
+recorded per point in :attr:`SweepResult.fidelities` and noted in the
+:class:`~repro.resilience.runreport.RunReport`, and it rides inside
+each point's config so profile-cache keys keep sub-detailed results
+out of detailed caches.
 """
 
 from __future__ import annotations
@@ -37,7 +48,7 @@ import itertools
 from typing import Callable, Mapping, Sequence
 
 from repro.config.diskcfg import DiskPowerPolicy, disk_configuration
-from repro.config.system import CacheConfig, SystemConfig
+from repro.config.system import CacheConfig, FidelityTier, SystemConfig
 from repro.core.report import BenchmarkResult
 from repro.core.softwatt import SoftWatt, speed_factor
 from repro.core.timeline import TimelineSimulator, disk_power_series
@@ -67,6 +78,12 @@ TIER_BY_NAME: dict[str, Tier] = {
     "timeline": Tier.TIMELINE,
     "full": Tier.STRUCTURAL,
 }
+
+#: Fidelity rungs below ``full``: the point still re-simulates
+#: (structural tier), but on a cheaper CPU execution tier.  These are
+#: accepted wherever a tier name is (``tier="atomic"``), mapping to
+#: ``Tier.STRUCTURAL`` plus a campaign-wide fidelity override.
+FIDELITY_RUNGS: frozenset[str] = frozenset({"atomic", "sampled"})
 
 #: Config leaves (dot-paths into :class:`SystemConfig`) consumed only
 #: by the power models: changing them re-prices cached counters.
@@ -161,6 +178,9 @@ class SweepResult:
     tiers: tuple[str, ...] = ()
     """Per-point tier names (``LEDGER``/``TIMELINE``/``STRUCTURAL``),
     parallel to ``points``; empty for legacy construction."""
+    fidelities: tuple[str, ...] = ()
+    """Per-point execution fidelity (``detailed``/``sampled``/
+    ``atomic``), parallel to ``points``; empty for legacy construction."""
     report: RunReport | None = None
     """Supervisor report from the structural fan-out, when one ran."""
 
@@ -260,6 +280,9 @@ class PlannedPoint:
     config: SystemConfig
     policy: DiskPowerPolicy
     tier: Tier
+    fidelity: str = "detailed"
+    """CPU execution tier the point simulates at (structural points
+    only; the cheap tiers reuse the detailed base profile)."""
 
 
 class SweepCampaign:
@@ -288,6 +311,7 @@ class SweepCampaign:
         cache_dir=None,
         use_cache: bool = True,
         tier: Tier | str | None = None,
+        fidelity: FidelityTier | str = FidelityTier.DETAILED,
         task_timeout: float | None = None,
         retries: int = 2,
         best_effort: bool = False,
@@ -309,12 +333,26 @@ class SweepCampaign:
         self.cache_dir = cache_dir
         self.use_cache = use_cache
         if isinstance(tier, str):
-            if tier not in TIER_BY_NAME:
+            if tier in FIDELITY_RUNGS:
+                # Fidelity rung: structural everywhere, on the cheaper
+                # execution tier.  An explicit conflicting ``fidelity``
+                # kwarg would silently lose, so reject it.
+                rung = FidelityTier.parse(tier)
+                requested = FidelityTier.parse(fidelity)
+                if requested not in (FidelityTier.DETAILED, rung):
+                    raise ValueError(
+                        f"tier {tier!r} conflicts with "
+                        f"fidelity={requested.value!r}")
+                fidelity = rung
+                tier = Tier.STRUCTURAL
+            elif tier not in TIER_BY_NAME:
                 raise ValueError(
                     f"unknown tier {tier!r}; choose from "
-                    f"{sorted(TIER_BY_NAME)}")
-            tier = TIER_BY_NAME[tier]
+                    f"{sorted(set(TIER_BY_NAME) | FIDELITY_RUNGS)}")
+            else:
+                tier = TIER_BY_NAME[tier]
         self.forced_tier = tier
+        self.fidelity = FidelityTier.parse(fidelity)
         self.task_timeout = task_timeout
         self.retries = retries
         self.best_effort = best_effort
@@ -351,8 +389,24 @@ class SweepCampaign:
                     f"{self.forced_tier.name} was forced; a lower tier "
                     f"would reuse stale simulation state")
             tier = self.forced_tier
+        fidelity = "detailed"
+        if (
+            tier is Tier.STRUCTURAL
+            and self.fidelity is not FidelityTier.DETAILED
+        ):
+            # Fidelity is applied *after* classification so the
+            # tier decision (which diffs config leaves against the
+            # base) never sees the fidelity sub-config, and only
+            # points that actually re-simulate are downgraded.  The
+            # fidelity travels inside the point's config, so both the
+            # serial path and the parallel SweepPointTask path honour
+            # it, and profile-cache keys (built from the full config)
+            # keep sub-detailed results out of detailed caches.
+            config = config.with_fidelity(self.fidelity).validate()
+            fidelity = self.fidelity.value
         return PlannedPoint(
-            value=value, label=label, config=config, policy=policy, tier=tier
+            value=value, label=label, config=config, policy=policy, tier=tier,
+            fidelity=fidelity,
         )
 
     def plan(
@@ -528,6 +582,19 @@ class SweepCampaign:
     # Execution
     # ------------------------------------------------------------------
 
+    def _note_fidelity(
+        self, plan: Sequence[PlannedPoint], report: RunReport
+    ) -> None:
+        """Record sub-detailed simulation in the run report."""
+        downgraded = sum(
+            1 for planned in plan if planned.fidelity != "detailed"
+        )
+        if downgraded:
+            report.add_note(
+                f"{downgraded}/{len(plan)} point(s) simulated at "
+                f"{self.fidelity.value} fidelity"
+            )
+
     def run_plan(
         self, plan: Sequence[PlannedPoint], *, report: RunReport | None = None
     ) -> list[SweepPoint]:
@@ -619,12 +686,14 @@ class SweepCampaign:
         """Sweep one parameter over ``values``."""
         plan = self.plan(parameter, values, transform=transform)
         report = RunReport()
+        self._note_fidelity(plan, report)
         points = self.run_plan(plan, report=report)
         return SweepResult(
             parameter=parameter,
             benchmark=self.benchmark,
             points=points,
             tiers=tuple(planned.tier.name for planned in plan),
+            fidelities=tuple(planned.fidelity for planned in plan),
             report=report,
         )
 
@@ -641,12 +710,14 @@ class SweepCampaign:
         """
         plan = self.plan_grid(axes, transforms=transforms)
         report = RunReport()
+        self._note_fidelity(plan, report)
         points = self.run_plan(plan, report=report)
         return SweepResult(
             parameter=",".join(axes),
             benchmark=self.benchmark,
             points=points,
             tiers=tuple(planned.tier.name for planned in plan),
+            fidelities=tuple(planned.fidelity for planned in plan),
             report=report,
         )
 

@@ -22,12 +22,14 @@ from __future__ import annotations
 import dataclasses
 import statistics
 
-from repro.config.system import SystemConfig
+from repro.config.system import FidelityTier, SystemConfig
+from repro.cpu.atomic import AtomicProcessor
 from repro.cpu.mipsy import MipsyProcessor
 from repro.cpu.mxs import MXSProcessor
 from repro.cpu.runstats import RunStats
+from repro.cpu.sampled import SampledProcessor
 from repro.isa.generators import SyntheticCodeGenerator
-from repro.kernel.idle import idle_loop
+from repro.kernel.idle import IDLE_LOOP_LENGTH, idle_loop
 from repro.kernel.kernel import Kernel
 from repro.kernel.modes import ExecutionMode, mode_of_label
 from repro.kernel.scheduler import InterleavedWorkload
@@ -47,6 +49,25 @@ def make_cpu(model: str, config: SystemConfig, hierarchy, trap_client):
     if model == "mipsy":
         return MipsyProcessor(config, hierarchy, trap_client=trap_client)
     raise ValueError(f"unknown CPU model {model!r}; choose from {CPU_MODELS}")
+
+
+def make_tier_cpu(model: str, config: SystemConfig, hierarchy, trap_client):
+    """Instantiate a CPU at the fidelity tier requested by ``config``.
+
+    ``detailed`` returns the plain cycle-level core (the path stays
+    bit-identical to the golden pins); ``sampled`` wraps that core in a
+    :class:`SampledProcessor`; ``atomic`` substitutes the functional
+    :class:`AtomicProcessor` of the matching flavour.
+    """
+    tier = config.fidelity.tier
+    if tier is FidelityTier.ATOMIC:
+        if model not in CPU_MODELS:
+            raise ValueError(f"unknown CPU model {model!r}; choose from {CPU_MODELS}")
+        return AtomicProcessor(model, config, hierarchy, trap_client)
+    cpu = make_cpu(model, config, hierarchy, trap_client)
+    if tier is FidelityTier.SAMPLED:
+        return SampledProcessor(cpu, config.fidelity)
+    return cpu
 
 
 @dataclasses.dataclass
@@ -191,7 +212,7 @@ class Profiler:
         # initial idle periods), but the benchmark's data files are.
         for file_id in range(8):
             kernel.file_cache.warm(file_id, 512 * 1024)
-        cpu = make_cpu(self.cpu_model, config, hierarchy, kernel)
+        cpu = make_tier_cpu(self.cpu_model, config, hierarchy, kernel)
 
         phases: dict[str, PhaseProfile] = {}
         seen_invocations: dict[str, int] = {}
@@ -216,12 +237,22 @@ class Profiler:
             stream = iter(workload)
             chunks = []
             per_chunk = max(500, instructions // chunk_count)
+            generated = 0
             for _ in range(chunk_count):
                 chunks.append(cpu.run(stream, max_instructions=per_chunk))
+                generated += getattr(cpu, "stream_consumed", per_chunk)
             delta = {
                 name: count - seen_invocations.get(name, 0)
                 for name, count in kernel.invocations.items()
             }
+            represented = per_chunk * chunk_count
+            if generated and generated != represented:
+                # Sub-detailed tiers generate only a sample of the
+                # window; scheduled-service invocation counts accrue per
+                # generated instruction, so extrapolate them to the
+                # represented budget just like the chunk counters.
+                ratio = represented / generated
+                delta = {name: round(count * ratio) for name, count in delta.items()}
             delta["utlb"] = sum(chunk.traps for chunk in chunks)
             seen_invocations = dict(kernel.invocations)
             phases[phase.name] = PhaseProfile(
@@ -256,10 +287,19 @@ class Profiler:
                 return self._idle_cache
             iterations = max(2000, self.window_instructions // 12)
         hierarchy = MemoryHierarchy(self.config, AccessCounters())
-        cpu = make_cpu(self.cpu_model, self.config, hierarchy, None)
+        cpu = make_tier_cpu(self.cpu_model, self.config, hierarchy, None)
         # Warm pass: the idle loop's two cache lines and its code.
         cpu.run(idle_loop(64))
-        stats = cpu.run(idle_loop(iterations))
+        if self.config.fidelity.tier is FidelityTier.DETAILED:
+            stats = cpu.run(idle_loop(iterations))
+        else:
+            # The idle loop is a fixed six-instruction body, so the
+            # sub-detailed tiers can sample it with near-zero error;
+            # the loop length gives them an exact budget to scale to.
+            stats = cpu.run(
+                idle_loop(iterations),
+                max_instructions=iterations * IDLE_LOOP_LENGTH,
+            )
         profile = IdleProfile(stats=stats)
         if default_window:
             self._idle_cache = profile

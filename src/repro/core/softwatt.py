@@ -26,7 +26,7 @@ optional accelerators sit on top:
 from __future__ import annotations
 
 from repro.config.diskcfg import DiskPowerPolicy, disk_configuration
-from repro.config.system import SystemConfig
+from repro.config.system import FidelityConfig, FidelityTier, SystemConfig
 from repro.core.checkpoint import (
     CheckpointError,
     ProfileCache,
@@ -94,10 +94,12 @@ class SoftWatt:
         retries: int = 2,
         best_effort: bool = False,
         fault_plan: FaultPlan | None = None,
+        fidelity: FidelityConfig | str | None = None,
     ) -> None:
-        self.config = (
-            config if config is not None else SystemConfig.table1()
-        ).validate()
+        base_config = config if config is not None else SystemConfig.table1()
+        if fidelity is not None:
+            base_config = base_config.with_fidelity(fidelity)
+        self.config = base_config.validate()
         self.cpu_model = cpu_model
         self.sample_interval_s = sample_interval_s
         self.seed = seed
@@ -202,6 +204,11 @@ class SoftWatt:
         pairs: list[tuple[SoftWatt, BenchmarkSpec]] = []
         for sw in instances:
             if sw.cpu_model != "mipsy":
+                continue
+            if sw.config.fidelity.tier is not FidelityTier.DETAILED:
+                # The SoA engine implements the detailed mipsy pipeline
+                # only; sub-detailed instances profile per-instance via
+                # their own tier (which is already the fast path).
                 continue
             for name in names:
                 spec = benchmark(name) if isinstance(name, str) else name

@@ -48,6 +48,28 @@ class BranchStats:
             return 1.0
         return 1.0 - self.mispredicts / self.total
 
+    def snapshot(self) -> dict[str, int]:
+        """Current field values (for interval deltas)."""
+        return {
+            field.name: getattr(self, field.name)
+            for field in dataclasses.fields(BranchStats)
+        }
+
+    def since(self, snapshot: dict[str, int]) -> "BranchStats":
+        """A new BranchStats covering only the events after ``snapshot``.
+
+        The predictor accumulates into one live :class:`BranchStats`
+        across every ``run()`` call; the sub-detailed tiers need per-run
+        deltas so extrapolation does not double-count earlier runs.
+        """
+        delta = BranchStats()
+        for field in dataclasses.fields(BranchStats):
+            setattr(
+                delta, field.name,
+                getattr(self, field.name) - snapshot[field.name],
+            )
+        return delta
+
 
 class BranchPredictor:
     """2-bit BHT + direct-mapped BTB + return-address stack."""

@@ -13,7 +13,7 @@ from __future__ import annotations
 import dataclasses
 
 from repro.cpu.branch import BranchStats
-from repro.stats.counters import AccessCounters
+from repro.stats.counters import COUNTER_FIELDS, AccessCounters
 
 USER_LABEL: str | None = None
 """Label carried by user-mode instructions."""
@@ -92,5 +92,39 @@ class RunStats:
                 result.branch,
                 field.name,
                 getattr(self.branch, field.name) + getattr(other.branch, field.name),
+            )
+        return result
+
+    def scaled(self, factor: float) -> "RunStats":
+        """A new RunStats extrapolated by ``factor`` (>= 0).
+
+        Used by the sub-detailed fidelity tiers to blow a measured
+        sample up to the instruction budget it represents.  Integer
+        quantities (instruction counts, event counters, traps, branch
+        outcomes, total cycles) are rounded so the result encodes and
+        caches exactly like a detailed run; the per-label cycle floats
+        scale exactly.
+        """
+        if factor < 0:
+            raise ValueError(f"scale factor cannot be negative, got {factor}")
+        result = RunStats(
+            cycles=round(self.cycles * factor),
+            instructions=round(self.instructions * factor),
+            traps=round(self.traps * factor),
+        )
+        for name, stats in self.labels.items():
+            bucket = result.label(name)
+            bucket.cycles = stats.cycles * factor
+            bucket.instr_cycles = stats.instr_cycles * factor
+            bucket.stall_cycles = stats.stall_cycles * factor
+            bucket.instructions = round(stats.instructions * factor)
+            for field in COUNTER_FIELDS:
+                value = getattr(stats.counters, field)
+                if value:
+                    setattr(bucket.counters, field, round(value * factor))
+        for field in dataclasses.fields(BranchStats):
+            setattr(
+                result.branch, field.name,
+                round(getattr(self.branch, field.name) * factor),
             )
         return result

@@ -64,6 +64,9 @@ class RunReport:
     effective_workers: int = 0
     """Worker count actually used after capping at ``os.cpu_count()``
     (0 until a supervised stage has run)."""
+    notes: list[str] = dataclasses.field(default_factory=list)
+    """Non-degrading annotations about how the run was produced (e.g.
+    which fidelity tier simulated the structural points)."""
 
     # -- recording ------------------------------------------------------
 
@@ -75,6 +78,10 @@ class RunReport:
         self.degradations.append(event)
         return event
 
+    def add_note(self, note: str) -> None:
+        """Record a non-degrading annotation (never affects ``ok``)."""
+        self.notes.append(note)
+
     def merge(self, other: "RunReport") -> None:
         """Fold another report into this one (e.g. per-call into session)."""
         self.tasks.extend(other.tasks)
@@ -85,6 +92,7 @@ class RunReport:
         self.effective_workers = max(
             self.effective_workers, other.effective_workers
         )
+        self.notes.extend(other.notes)
 
     # -- queries --------------------------------------------------------
 
@@ -120,6 +128,7 @@ class RunReport:
             "pool_restarts": self.pool_restarts,
             "serial_fallback": self.serial_fallback,
             "effective_workers": self.effective_workers,
+            "notes": list(self.notes),
         }
 
     def summary(self) -> str:

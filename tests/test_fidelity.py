@@ -1,0 +1,207 @@
+"""Tests for the fidelity-tiered execution ladder (DESIGN.md §11).
+
+Three properties pin the tiers:
+
+* **determinism** — same seed, same tier, same counters, for both CPU
+  flavours;
+* **bounded error** — over the whole suite the sampled tier stays
+  within 2% of detailed total energy and the atomic tier within 10%
+  (the ``fidelity`` marker tags the suite-wide sweeps);
+* **isolation** — the detailed path is byte-identical to the
+  pre-fidelity code (the golden pins enforce the energies; here we
+  check the plumbing returns the unwrapped cores), and sub-detailed
+  profiles can never be served from or poison a detailed profile
+  cache because the tier is part of the cache key.
+"""
+
+import dataclasses
+import pickle
+
+import pytest
+
+from repro.cli import main
+from repro.config.system import (
+    ConfigError,
+    FidelityConfig,
+    FidelityTier,
+    SystemConfig,
+)
+from repro.core.checkpoint import profile_cache_key
+from repro.core.profiles import Profiler, make_cpu, make_tier_cpu
+from repro.core.softwatt import SoftWatt
+from repro.cpu.atomic import AtomicProcessor
+from repro.cpu.sampled import SampledProcessor
+from repro.mem.hierarchy import MemoryHierarchy
+from repro.stats.counters import AccessCounters
+from repro.workloads.specjvm98 import BENCHMARK_NAMES, benchmark
+
+WINDOW = 4000
+
+
+def _config(tier, **overrides) -> SystemConfig:
+    return SystemConfig.table1().with_fidelity(tier, **overrides)
+
+
+class TestFidelityConfig:
+    def test_parse_accepts_names_and_instances(self):
+        assert FidelityTier.parse("atomic") is FidelityTier.ATOMIC
+        assert FidelityTier.parse("SAMPLED") is FidelityTier.SAMPLED
+        assert FidelityTier.parse(FidelityTier.DETAILED) is FidelityTier.DETAILED
+
+    def test_parse_rejects_unknown_tier(self):
+        with pytest.raises(ConfigError, match="fidelity.tier"):
+            FidelityTier.parse("cycle-accurate")
+
+    def test_default_is_detailed(self):
+        config = SystemConfig.table1()
+        assert config.fidelity.tier is FidelityTier.DETAILED
+
+    def test_with_fidelity_overrides(self):
+        config = _config("sampled", sample_period=9000, warmup=500)
+        assert config.fidelity.tier is FidelityTier.SAMPLED
+        assert config.fidelity.sample_period == 9000
+        assert config.fidelity.warmup == 500
+        # untouched knob keeps its default
+        assert config.fidelity.sample_window == FidelityConfig().sample_window
+
+    @pytest.mark.parametrize(
+        "overrides, field",
+        [
+            ({"sample_window": 0}, "fidelity.sample_window"),
+            ({"warmup": -1}, "fidelity.warmup"),
+            ({"sample_period": 100}, "fidelity.sample_period"),
+        ],
+    )
+    def test_validate_rejects_bad_sampling_params(self, overrides, field):
+        with pytest.raises(ConfigError, match=field):
+            _config("sampled", **overrides).validate()
+
+    def test_validate_rejects_wrong_types(self):
+        config = dataclasses.replace(
+            SystemConfig.table1(), fidelity="atomic"
+        )
+        with pytest.raises(ConfigError, match="fidelity"):
+            config.validate()
+
+
+class TestTierPlumbing:
+    @pytest.mark.parametrize("model", ["mipsy", "mxs"])
+    def test_detailed_returns_unwrapped_core(self, model):
+        config = SystemConfig.table1()
+        hierarchy = MemoryHierarchy(config, AccessCounters())
+        cpu = make_tier_cpu(model, config, hierarchy, None)
+        assert type(cpu) is type(make_cpu(model, config, hierarchy, None))
+
+    @pytest.mark.parametrize("model", ["mipsy", "mxs"])
+    def test_sub_detailed_wrappers(self, model):
+        for tier, kind in (("sampled", SampledProcessor),
+                           ("atomic", AtomicProcessor)):
+            config = _config(tier)
+            hierarchy = MemoryHierarchy(config, AccessCounters())
+            assert isinstance(
+                make_tier_cpu(model, config, hierarchy, None), kind
+            )
+
+    def test_softwatt_fidelity_kwarg(self):
+        sw = SoftWatt(fidelity="atomic", use_cache=False)
+        assert sw.config.fidelity.tier is FidelityTier.ATOMIC
+        sw = SoftWatt(
+            fidelity=FidelityConfig(
+                tier=FidelityTier.SAMPLED, sample_period=5000,
+                sample_window=700, warmup=200,
+            ),
+            use_cache=False,
+        )
+        assert sw.config.fidelity.sample_period == 5000
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("model", ["mipsy", "mxs"])
+    @pytest.mark.parametrize("tier", ["atomic", "sampled"])
+    def test_same_seed_same_counters(self, model, tier):
+        spec = benchmark("jess")
+
+        def profile():
+            return Profiler(
+                config=_config(tier), cpu_model=model,
+                window_instructions=WINDOW, seed=7,
+            ).profile_benchmark(spec)
+
+        assert pickle.dumps(profile()) == pickle.dumps(profile())
+
+
+@pytest.mark.fidelity
+class TestErrorBounds:
+    """Suite-wide energy error gates (mirrored by scripts/bench.py).
+
+    Window 6000 keeps the sweep fast; the bounds hold with more margin
+    at the full-size windows the bench stage uses.
+    """
+
+    WINDOW = 6000
+    LIMITS = {"sampled": 0.02, "atomic": 0.10}
+
+    @pytest.fixture(scope="class")
+    def suite_energies(self):
+        energies = {}
+        for tier in ("detailed", "sampled", "atomic"):
+            sw = SoftWatt(
+                cpu_model="mipsy", window_instructions=self.WINDOW,
+                seed=1, use_cache=False, fidelity=tier,
+            )
+            energies[tier] = {
+                name: sw.run(name).total_energy_j
+                for name in BENCHMARK_NAMES
+            }
+        return energies
+
+    @pytest.mark.parametrize("tier", ["sampled", "atomic"])
+    def test_total_energy_error_bounded(self, suite_energies, tier):
+        detailed = suite_energies["detailed"]
+        for name in BENCHMARK_NAMES:
+            error = abs(
+                suite_energies[tier][name] - detailed[name]
+            ) / detailed[name]
+            assert error <= self.LIMITS[tier], (
+                f"{tier} tier off by {error:.2%} on {name}"
+            )
+
+
+class TestCacheKeys:
+    def test_tier_and_sampling_params_enter_the_key(self):
+        spec = benchmark("jess")
+
+        def key(config):
+            return profile_cache_key(
+                spec, config, cpu_model="mipsy",
+                window_instructions=WINDOW,
+                startup_chunks=4, steady_chunks=2, seed=1,
+            )
+
+        keys = [
+            key(SystemConfig.table1()),
+            key(_config("atomic")),
+            key(_config("sampled")),
+            key(_config("sampled", sample_period=8000)),
+            key(_config("sampled", sample_window=700)),
+            key(_config("sampled", warmup=500)),
+        ]
+        assert len(set(keys)) == len(keys)
+
+
+class TestCli:
+    def test_run_with_atomic_fidelity(self, capsys):
+        assert main([
+            "run", "jess", "--cpu", "mipsy", "--window", "4000",
+            "--fidelity", "atomic", "--no-cache",
+        ]) == 0
+        assert "total energy" in capsys.readouterr().out
+
+    def test_invalid_sampling_params_exit_2(self, capsys):
+        code = main([
+            "run", "jess", "--cpu", "mipsy", "--window", "4000",
+            "--fidelity", "sampled", "--sample-period", "100",
+            "--no-cache",
+        ])
+        assert code == 2
+        assert "fidelity.sample_period" in capsys.readouterr().err

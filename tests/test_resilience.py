@@ -302,6 +302,42 @@ class TestCheckpointFailurePaths:
         for name, energy in reference.items():
             assert results[name].total_energy_j == energy
 
+    @pytest.mark.parametrize("tier", ["atomic", "sampled"])
+    def test_sub_detailed_entries_never_serve_detailed_requests(
+        self, tmp_path, tier
+    ):
+        """A warm sub-detailed cache must not poison a detailed run.
+
+        The fidelity tier (and its sampling knobs) are part of the
+        profile cache key, so a detailed request against a cache warmed
+        at a cheaper tier re-simulates and reproduces the no-cache
+        detailed energies exactly.
+        """
+        approx = SoftWatt(
+            cpu_model="mipsy", window_instructions=WINDOW, seed=1,
+            cache_dir=tmp_path, fidelity=tier,
+        )
+        approx.run("jess")
+        assert list(tmp_path.glob("*.json"))  # the tier did warm a cache
+        detailed = SoftWatt(
+            cpu_model="mipsy", window_instructions=WINDOW, seed=1,
+            cache_dir=tmp_path,
+        )
+        result = detailed.run("jess")
+        assert detailed.profiler.detailed_runs >= 1  # cache miss: re-simulated
+        clean = SoftWatt(
+            cpu_model="mipsy", window_instructions=WINDOW, seed=1,
+            use_cache=False,
+        ).run("jess")
+        assert result.total_energy_j == clean.total_energy_j
+        # and the warm sub-detailed instance keeps hitting its own entry
+        rewarm = SoftWatt(
+            cpu_model="mipsy", window_instructions=WINDOW, seed=1,
+            cache_dir=tmp_path, fidelity=tier,
+        )
+        rewarm.run("jess")
+        assert rewarm.profiler.detailed_runs == 0
+
 
 class TestSuiteRecovery:
     @pytest.mark.fault_injection
