@@ -45,7 +45,7 @@ import time
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
 
 from repro.config.system import SystemConfig  # noqa: E402
-from repro.core.campaign import SweepCampaign  # noqa: E402
+from repro.core.campaign import SweepCampaign, sweep_source  # noqa: E402
 from repro.core.profiles import Profiler  # noqa: E402
 from repro.core.softwatt import SoftWatt  # noqa: E402
 from repro.core.timeline import (  # noqa: E402
@@ -471,6 +471,70 @@ def main() -> int:
               file=sys.stderr)
         return 1
     report["sweep_serial_vs_campaign"] = {"tier_l": tier_l, "tier_s": tier_s}
+
+    # Counter ingestion: export the suite's jess log in the external
+    # schema, re-ingest it through the identity mapping, verify the
+    # re-priced ledger is bit-identical to pricing the simulated log
+    # directly, then time a ledger-only vdd sweep over the ingested
+    # bundle (sweep_source) — the re-pricing path an external perf log
+    # takes, with the tier-L warm campaign as the reference.
+    from repro.ingest import (  # noqa: PLC0415
+        CounterMapping,
+        ingest_log,
+        read_counter_log,
+        write_counter_log_json,
+    )
+
+    jess_result = results["jess"]
+    ingest_dir = tempfile.mkdtemp(prefix="repro-bench-ingest-")
+    try:
+        counters_path = os.path.join(ingest_dir, "jess_counters.json")
+        write_counter_log_json(jess_result.timeline.log, counters_path)
+        ingest_timing = _time(
+            lambda: ingest_log(
+                read_counter_log(counters_path), CounterMapping.identity()
+            ),
+            max(3, args.repeats),
+        )
+        ingested_run = ingest_timing.pop("_result")
+    finally:
+        shutil.rmtree(ingest_dir, ignore_errors=True)
+    direct_ledger = jess_result.model.price(jess_result.timeline.log)
+    ingested_ledger = jess_result.model.price(ingested_run)
+    round_trip_identical = (
+        ingested_ledger.components == direct_ledger.components
+    )
+    ingest_points = 50 if args.quick else 200
+    ingest_vdd_values = [
+        round(base_vdd * (0.80 + 0.002 * index), 6)
+        for index in range(ingest_points)
+    ]
+    reprice_timing = _time(
+        lambda: sweep_source(ingested_run, "vdd", ingest_vdd_values),
+        max(3, args.repeats),
+    )
+    reprice_timing.pop("_result")
+    reprice_pps = ingest_points / reprice_timing["best_s"]
+    tier_l_pps = tier_l["points"] / tier_l["campaign_warm_s"]
+    ingest_stage = {
+        "log_records": len(jess_result.timeline.log),
+        "ingest": ingest_timing,
+        "round_trip_bit_identical": round_trip_identical,
+        "reprice_points": ingest_points,
+        "reprice": reprice_timing,
+        "reprice_points_per_sec": round(reprice_pps, 1),
+        "tier_l_warm_points_per_sec": round(tier_l_pps, 1),
+    }
+    report["ingest"] = ingest_stage
+    print(f"ingest (jess, {ingest_stage['log_records']} records): parse+map "
+          f"{ingest_timing['best_s']:.3f} s, vdd x{ingest_points} re-price "
+          f"{reprice_timing['best_s']:.3f} s ({reprice_pps:,.0f} points/s "
+          f"vs tier-L warm {tier_l_pps:,.0f}; round-trip bit-identical: "
+          f"{round_trip_identical})")
+    if not round_trip_identical:
+        print("ERROR: ingested round-trip diverged from direct pricing",
+              file=sys.stderr)
+        return 1
 
     # Fidelity ladder: atomic and sampled execution vs detailed Mipsy
     # over the whole suite.  Profiling wall time is the figure of merit

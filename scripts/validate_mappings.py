@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Validate every example mapping file against the registry schema.
+
+Run by the CI lint job: each ``examples/mappings/*.json`` must load
+cleanly through :class:`repro.ingest.CounterMapping` — well-formed
+formulas, known target counters, no duplicates, and full coverage of
+every power component's declared counter requirements.  A mapping that
+would starve a component fails the build here, before any user prices
+wrong energies with it.
+
+Usage::
+
+    PYTHONPATH=src python scripts/validate_mappings.py [DIR]
+"""
+
+import pathlib
+import sys
+
+from repro.config.system import ConfigError
+from repro.ingest import CounterMapping
+from repro.power.registry import REGISTRY
+
+DEFAULT_DIR = pathlib.Path(__file__).parent.parent / "examples" / "mappings"
+
+
+def main(argv: list[str] | None = None) -> int:
+    argv = sys.argv[1:] if argv is None else argv
+    directory = pathlib.Path(argv[0]) if argv else DEFAULT_DIR
+    paths = sorted(directory.glob("*.json"))
+    if not paths:
+        print(f"error: no mapping files under {directory}", file=sys.stderr)
+        return 1
+    required = REGISTRY.required_counters()
+    failures = 0
+    for path in paths:
+        try:
+            mapping = CounterMapping.load(path)
+        except ConfigError as error:
+            print(f"FAIL {path}: {error}", file=sys.stderr)
+            failures += 1
+            continue
+        print(f"ok   {path}: {len(mapping.counters)} counters mapped, "
+              f"{len(mapping.events())} events referenced, covers all "
+              f"{len(required)} required counters")
+    if failures:
+        print(f"{failures}/{len(paths)} mapping file(s) invalid",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -221,6 +221,13 @@ def cmd_run(args: argparse.Namespace) -> int:
         write_ledger_json(result.energy_ledger(), args.export_budget,
                           seconds=result.timeline.duration_s)
         print(f"energy ledger written to {args.export_budget}")
+    if args.export_counters:
+        from repro.ingest import write_counter_log_json  # noqa: PLC0415
+
+        write_counter_log_json(result.timeline.log, args.export_counters)
+        print(f"counter log written to {args.export_counters} "
+              f"(re-price with: repro ingest {args.export_counters} "
+              f"--mapping identity)")
     _maybe_save(softwatt, args)
     return _finish(softwatt, args)
 
@@ -229,6 +236,16 @@ def cmd_components(args: argparse.Namespace) -> int:
     """List the PowerComponent registry (the accounting schema)."""
     from repro.power.registry import REGISTRY  # noqa: PLC0415
 
+    if getattr(args, "json", False):
+        import json  # noqa: PLC0415
+
+        document = {
+            "components": REGISTRY.schema(),
+            "categories": list(REGISTRY.categories),
+            "required_counters": list(REGISTRY.required_counters()),
+        }
+        print(json.dumps(document, indent=2))
+        return 0
     print(f"{'component':10s} {'category':10s} counters")
     for component in REGISTRY:
         counters = (
@@ -238,6 +255,64 @@ def cmd_components(args: argparse.Namespace) -> int:
         )
         print(f"{component.name:10s} {component.category:10s} {counters}")
     print(f"\ncategories (report order): {', '.join(REGISTRY.categories)}")
+    return 0
+
+
+def cmd_ingest(args: argparse.Namespace) -> int:
+    """Price an external counter log through a mapping file."""
+    # Deliberately lazy: ingest pulls in the power registry.
+    from repro.config.system import SystemConfig  # noqa: PLC0415
+    from repro.ingest import (  # noqa: PLC0415
+        CounterMapping,
+        ingest_log,
+        read_counter_log,
+    )
+    from repro.power.processor import ProcessorPowerModel  # noqa: PLC0415
+
+    log = read_counter_log(args.log)
+    if args.mapping == "identity":
+        mapping = CounterMapping.identity()
+    else:
+        mapping = CounterMapping.load(args.mapping)
+    run = ingest_log(log, mapping)
+    model = ProcessorPowerModel(SystemConfig.table1())
+    ledger = model.price(run)
+    seconds = run.duration_s
+    if args.json:
+        import json  # noqa: PLC0415
+
+        document = {
+            "source": run.source,
+            "mapping": mapping.source,
+            "records": len(run),
+            "duration_s": seconds,
+            "cycles": run.total_cycles(),
+            "total_j": ledger.total_j,
+            "category_j": ledger.categories,
+        }
+        if seconds > 0:
+            document["category_w"] = ledger.category_power_w(seconds)
+        print(json.dumps(document, indent=2))
+    else:
+        print(f"ingested {run.source} through {mapping.source}: "
+              f"{len(run)} interval(s), {run.total_cycles():.3g} cycles "
+              f"over {seconds:.2f} s")
+        print(f"counter-driven energy: {ledger.total_j:.2f} J "
+              f"(no disk: simulation-time components need a timeline)")
+        watts = ledger.category_power_w(seconds) if seconds > 0 else {}
+        print(f"\n{'category':10s} {'energy J':>9s}" +
+              (f" {'avg W':>7s}" if watts else ""))
+        for name, joules in ledger.categories.items():
+            line = f"{name:10s} {joules:9.2f}"
+            if watts:
+                line += f" {watts[name]:7.2f}"
+            print(line)
+    if args.export_budget:
+        from repro.stats.export import write_ledger_json  # noqa: PLC0415
+
+        write_ledger_json(ledger, args.export_budget,
+                          seconds=seconds if seconds > 0 else None)
+        print(f"\nenergy ledger written to {args.export_budget}")
     return 0
 
 
@@ -444,12 +519,32 @@ def build_parser() -> argparse.ArgumentParser:
                    help="write the power trace as CSV")
     p.add_argument("--export-budget", metavar="JSON",
                    help="write the full-run energy ledger as JSON")
+    p.add_argument("--export-counters", metavar="JSON",
+                   help="write the run's counter log in the external "
+                        "ingestion schema (repro ingest)")
     _add_common(p)
     p.set_defaults(func=cmd_run)
 
     p = sub.add_parser("components",
                        help="list the power-component registry")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable schema: per-component "
+                        "required counters, categories")
     p.set_defaults(func=cmd_components)
+
+    p = sub.add_parser("ingest",
+                       help="price an external counter log (no simulation)")
+    p.add_argument("log", metavar="LOG",
+                   help="counter log: .json (export schema) or .csv "
+                        "(perf-stat interval style: time_s,value,event)")
+    p.add_argument("--mapping", required=True, metavar="FILE",
+                   help="mapping file translating external event names "
+                        "onto our counters, or the literal 'identity'")
+    p.add_argument("--export-budget", metavar="JSON",
+                   help="write the priced energy ledger as JSON")
+    p.add_argument("--json", action="store_true",
+                   help="machine-readable summary on stdout")
+    p.set_defaults(func=cmd_ingest)
 
     p = sub.add_parser("suite", help="run all six benchmarks")
     p.add_argument("--disk", type=int, choices=(1, 2, 3, 4), default=1)

@@ -45,7 +45,7 @@ from __future__ import annotations
 import dataclasses
 import enum
 import itertools
-from typing import Callable, Mapping, Sequence
+from typing import TYPE_CHECKING, Callable, Mapping, Sequence
 
 from repro.config.diskcfg import DiskPowerPolicy, disk_configuration
 from repro.config.system import CacheConfig, FidelityTier, SystemConfig
@@ -57,6 +57,10 @@ from repro.power.processor import ProcessorPowerModel
 from repro.resilience.faults import FaultPlan
 from repro.resilience.runreport import RunReport
 from repro.stats.postprocess import compute_power_trace
+
+if TYPE_CHECKING:
+    from repro.power.ledger import EnergyLedger
+    from repro.stats.source import CounterSource
 
 
 class Tier(enum.IntEnum):
@@ -774,6 +778,61 @@ def sweep_spindown_threshold(
         **campaign_kwargs,
     )
     return campaign.run(SPINDOWN_PARAMETER, list(thresholds_s))
+
+
+def sweep_source(
+    source: "CounterSource",
+    parameter: str,
+    values: Sequence,
+    *,
+    base_config: SystemConfig | None = None,
+    transform: ConfigTransform | None = None,
+) -> list[tuple[object, "EnergyLedger"]]:
+    """Re-price one counter source across ledger-tier parameter values.
+
+    ``source`` is any :class:`~repro.stats.source.CounterSource` — most
+    usefully an :class:`~repro.ingest.pricing.IngestedRun` of external
+    perf-style measurements, which by construction *cannot* be
+    re-simulated.  Each value builds a fresh
+    :class:`~repro.power.processor.ProcessorPowerModel` and evaluates
+    the registry over the unchanged counters: the campaign engine's
+    tier-L path applied to counters that never came from a simulator.
+    Milliseconds per point.
+
+    Only ledger-tier parameters apply (``vdd``, ``calibration``,
+    feature size — :data:`LEDGER_LEAVES`): a value whose config change
+    would invalidate the counters themselves raises ``ValueError``
+    naming the offending leaves, because there is no simulator behind
+    an external source to regenerate them.
+    """
+    if not values:
+        raise ValueError("need at least one value to sweep")
+    base = (
+        base_config if base_config is not None else SystemConfig.table1()
+    ).validate()
+    if transform is None:
+        if parameter not in PARAMETERS:
+            raise ValueError(
+                f"unknown parameter {parameter!r}; built-ins: "
+                f"{sorted(PARAMETERS)}")
+        transform = PARAMETERS[parameter]
+    points: list[tuple[object, "EnergyLedger"]] = []
+    for value in values:
+        config = transform(base, value).validate()
+        tier = classify(base, config)
+        if tier is not Tier.LEDGER:
+            offending = [
+                leaf for leaf in changed_leaves(base, config)
+                if leaf not in LEDGER_LEAVES
+            ]
+            raise ValueError(
+                f"{parameter}={value} changes {', '.join(offending)}, "
+                f"which requires tier {tier.name}; an external counter "
+                f"source cannot be re-simulated, so only ledger-tier "
+                f"parameters ({', '.join(sorted(LEDGER_LEAVES))}) apply")
+        model = ProcessorPowerModel(config)
+        points.append((value, model.price(source)))
+    return points
 
 
 def sweep_grid(

@@ -17,6 +17,7 @@ from repro.power.ledger import EnergyLedger
 from repro.power.processor import ProcessorPowerModel
 from repro.power.registry import REGISTRY
 from repro.stats.postprocess import PowerTrace
+from repro.stats.source import CounterBundle
 
 MODE_ORDER = (
     ExecutionMode.USER,
@@ -81,7 +82,8 @@ class BenchmarkResult:
             cycles = timeline.mode_cycles.get(mode, 0.0)
             counters = timeline.mode_counters[mode]
             if cycles >= 1.0:
-                energy = self.model.ledger(counters, int(cycles)).total_j
+                bundle = CounterBundle(counters=counters, cycles=cycles)
+                energy = self.model.price(bundle).total_j
             else:
                 energy = 0.0
             energies[mode] = energy
@@ -109,7 +111,9 @@ class BenchmarkResult:
                 }
                 continue
             counters = self.timeline.mode_counters[mode]
-            ledger = self.model.ledger(counters, int(cycles))
+            ledger = self.model.price(
+                CounterBundle(counters=counters, cycles=cycles)
+            )
             result[mode] = ledger.category_power_w(cycles * cycle_time)
         return result
 
@@ -148,7 +152,9 @@ class BenchmarkResult:
                 continue
             counters = timeline.label_counters[label]
             energy = (
-                self.model.ledger(counters, int(cycles)).total_j
+                self.model.price(
+                    CounterBundle(counters=counters, cycles=cycles)
+                ).total_j
                 if cycles >= 1.0
                 else 0.0
             )

@@ -403,6 +403,24 @@ class SoftWatt:
         return ReportedMapping(results, profiles.report)
 
     # ------------------------------------------------------------------
+    # External counter sources
+    # ------------------------------------------------------------------
+
+    def price_counters(self, source) -> "EnergyLedger":
+        """Price any :class:`~repro.stats.source.CounterSource` under
+        this instance's power model.
+
+        The source can be a simulated log, a single
+        :class:`~repro.stats.source.CounterBundle`, or an
+        :class:`~repro.ingest.pricing.IngestedRun` built from external
+        perf-style measurements — the same registry arithmetic applies
+        regardless of provenance, which is the point of the seam.
+        Counter-driven components only; simulation-time components (the
+        disk) need a timeline and are not attached here.
+        """
+        return self.model.price(source)
+
+    # ------------------------------------------------------------------
     # Kernel-service characterisation (Section 3.3)
     # ------------------------------------------------------------------
 

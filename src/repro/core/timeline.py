@@ -122,12 +122,12 @@ class TimelineResult:
     def energy_ledger(self, model) -> "EnergyLedger":
         """The full-run :class:`~repro.power.ledger.EnergyLedger`.
 
-        Counter-driven components come from evaluating the registry
-        over the whole log; the disk — the one simulation-time
-        component — is attached with its event-exact integrated energy.
+        Counter-driven components come from pricing the whole log
+        through the :class:`~repro.stats.source.CounterSource` seam;
+        the disk — the one simulation-time component — is attached with
+        its event-exact integrated energy.
         """
-        cycles = int(self.log.total_cycles()) or 1
-        ledger = model.ledger(self.log.total_counters(), cycles)
+        ledger = model.price(self.log)
         return ledger.with_component("disk", "disk", self.disk.energy.energy_j)
 
 

@@ -1,0 +1,54 @@
+"""External counter ingestion: price measurements we did not simulate.
+
+SoftWatt's pipeline is "counters in, energy out" — and with the
+:class:`~repro.stats.source.CounterSource` seam, the counters no
+longer have to come from our own simulators.  This package is the
+first external front-end: read a perf-style counter log
+(:mod:`~repro.ingest.readers`), translate its event names onto
+:data:`~repro.stats.counters.COUNTER_FIELDS` through a validated
+mapping file (:mod:`~repro.ingest.mapping`), and hand the result to
+the power registry as an :class:`~repro.ingest.pricing.IngestedRun`
+(:mod:`~repro.ingest.pricing`).  Exposed on the command line as
+``repro ingest LOG --mapping FILE``.
+"""
+
+from repro.ingest.mapping import (
+    CounterMapping,
+    DuplicateTargetError,
+    MappingError,
+    MappingFormatError,
+    UnknownEventError,
+    UnknownTargetCounterError,
+    UnmappedCounterError,
+)
+from repro.ingest.pricing import IngestedRun, ingest_log
+from repro.ingest.readers import (
+    CYCLES_EVENT,
+    ExternalCounterLog,
+    ExternalRecord,
+    IngestError,
+    read_counter_log,
+    read_counter_log_csv,
+    read_counter_log_json,
+    write_counter_log_json,
+)
+
+__all__ = [
+    "CounterMapping",
+    "DuplicateTargetError",
+    "MappingError",
+    "MappingFormatError",
+    "UnknownEventError",
+    "UnknownTargetCounterError",
+    "UnmappedCounterError",
+    "IngestedRun",
+    "ingest_log",
+    "CYCLES_EVENT",
+    "ExternalCounterLog",
+    "ExternalRecord",
+    "IngestError",
+    "read_counter_log",
+    "read_counter_log_csv",
+    "read_counter_log_json",
+    "write_counter_log_json",
+]

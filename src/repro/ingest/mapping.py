@@ -1,0 +1,355 @@
+"""Counter-mapping files: external event names onto our counters.
+
+External profilers name events their own way (``L1-dcache-loads``,
+``iTLB-load-misses``...); the power models consume
+:data:`~repro.stats.counters.COUNTER_FIELDS`.  A mapping file is the
+per-machine translation table bridging the two — the same role the
+per-microarchitecture counter mappings play in perf-based modelling
+tools.  JSON schema::
+
+    {
+      "version": 1,
+      "description": "...",
+      "cycles": "cycles",                       # formula, required
+      "counters": {
+        "l1d_access": {"sum": ["L1-dcache-loads", "L1-dcache-stores"]},
+        "tlb_miss":   {"sum": ["dTLB-load-misses", "iTLB-load-misses"]},
+        "falu_access": {"event": "fp-arith", "scale": 0.75},
+        ...
+      }
+    }
+
+A *formula* is a string (bare event name), ``{"event": E, "scale":
+S}``, or ``{"sum": [formula, ...], "scale": S}``; scales default to 1
+and an outer ``sum`` scale distributes over its terms at load time.
+Evaluation is ``sum(event_value * scale)`` left-to-right, and a single
+term with scale 1 reproduces the event value bit-for-bit — which is
+why the identity mapping round-trips exactly.
+
+Validation is loud and happens as early as possible:
+
+* **load time** — malformed structure/scale
+  (:class:`MappingFormatError`), duplicate JSON keys
+  (:class:`DuplicateTargetError`), targets that are not counters
+  (:class:`UnknownTargetCounterError`), and — crucially — coverage
+  against the :class:`~repro.power.registry.PowerRegistry`'s declared
+  counter requirements: a mapping that starves a power component
+  raises :class:`UnmappedCounterError` naming the component and the
+  missing counters (:class:`UnmappedCounterError`), instead of
+  silently pricing zeros.
+* **apply time** — a formula referencing an event the log never
+  recorded anywhere raises :class:`UnknownEventError` (events missing
+  from *individual* records read 0, so sparse logs are fine).
+
+Every error subclasses :class:`~repro.config.system.ConfigError`, so
+the CLI exits 2 uniformly.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import pathlib
+
+from repro.config.system import ConfigError
+from repro.stats.counters import COUNTER_FIELDS, AccessCounters
+from repro.power.registry import REGISTRY
+
+MAPPING_SCHEMA_VERSION = 1
+
+_TOP_LEVEL_KEYS = frozenset({"version", "description", "cycles", "counters"})
+
+#: A compiled formula: ((event, scale), ...), evaluated left-to-right.
+Formula = tuple[tuple[str, float], ...]
+
+
+class MappingError(ConfigError):
+    """Base class for counter-mapping problems (CLI exit code 2).
+
+    The ``field`` slot is pinned to ``"mapping"``; the message itself
+    names the offending key or file.
+    """
+
+    def __init__(self, message: str) -> None:
+        self.field = "mapping"
+        ValueError.__init__(self, message)
+
+
+class MappingFormatError(MappingError):
+    """Structurally malformed mapping file (bad scale, wrong types...)."""
+
+
+class DuplicateTargetError(MappingError):
+    """The same key appears twice in one JSON object."""
+
+
+class UnknownTargetCounterError(MappingError):
+    """A mapping target that is not one of :data:`COUNTER_FIELDS`."""
+
+
+class UnknownEventError(MappingError):
+    """A formula references an event absent from the entire log."""
+
+
+class UnmappedCounterError(MappingError):
+    """A power component's required counters are not all mapped."""
+
+    def __init__(self, component: str, missing: tuple[str, ...]) -> None:
+        self.component = component
+        self.missing = missing
+        super().__init__(
+            f"mapping starves power component {component!r}: required "
+            f"counter(s) {', '.join(missing)} are not mapped; every "
+            f"counter a component's rule reads must appear under "
+            f"'counters' (see 'repro components --json' for the schema)"
+        )
+
+
+def _reject_duplicate_keys(pairs):
+    mapping = {}
+    for key, value in pairs:
+        if key in mapping:
+            raise DuplicateTargetError(
+                f"duplicate key {key!r}: the same target appears twice, "
+                f"and the second entry would silently win"
+            )
+        mapping[key] = value
+    return mapping
+
+
+def _scale(raw, *, context: str) -> float:
+    if raw is None:
+        return 1.0
+    if isinstance(raw, bool) or not isinstance(raw, (int, float)):
+        raise MappingFormatError(
+            f"{context}: scale {raw!r} is not a number"
+        )
+    value = float(raw)
+    if not math.isfinite(value) or value < 0:
+        raise MappingFormatError(
+            f"{context}: scale {value!r} must be finite and non-negative"
+        )
+    return value
+
+
+def _compile_formula(spec, *, context: str, outer_scale: float = 1.0) -> Formula:
+    """Compile one formula spec into ((event, scale), ...) terms."""
+    if isinstance(spec, str):
+        if not spec:
+            raise MappingFormatError(f"{context}: empty event name")
+        return ((spec, outer_scale),)
+    if not isinstance(spec, dict):
+        raise MappingFormatError(
+            f"{context}: expected an event name or object, got "
+            f"{type(spec).__name__}"
+        )
+    if "event" in spec and "sum" in spec:
+        raise MappingFormatError(
+            f"{context}: 'event' and 'sum' are mutually exclusive"
+        )
+    scale = _scale(spec.get("scale"), context=context) * outer_scale
+    if "event" in spec:
+        unknown = set(spec) - {"event", "scale"}
+        if unknown:
+            raise MappingFormatError(
+                f"{context}: unknown key(s) {', '.join(sorted(unknown))}"
+            )
+        event = spec["event"]
+        if not isinstance(event, str) or not event:
+            raise MappingFormatError(
+                f"{context}: 'event' must be a non-empty string"
+            )
+        return ((event, scale),)
+    if "sum" in spec:
+        unknown = set(spec) - {"sum", "scale"}
+        if unknown:
+            raise MappingFormatError(
+                f"{context}: unknown key(s) {', '.join(sorted(unknown))}"
+            )
+        terms = spec["sum"]
+        if not isinstance(terms, list) or not terms:
+            raise MappingFormatError(
+                f"{context}: 'sum' must be a non-empty list of formulas"
+            )
+        compiled: list[tuple[str, float]] = []
+        for index, term in enumerate(terms):
+            compiled.extend(
+                _compile_formula(
+                    term,
+                    context=f"{context} sum[{index}]",
+                    outer_scale=scale,
+                )
+            )
+        return tuple(compiled)
+    raise MappingFormatError(
+        f"{context}: formula object needs 'event' or 'sum'"
+    )
+
+
+def _evaluate(formula: Formula, events: dict[str, float]) -> float:
+    value = 0.0
+    for event, scale in formula:
+        value += events.get(event, 0.0) * scale
+    return value
+
+
+class CounterMapping:
+    """A validated external-event → counter translation table."""
+
+    def __init__(
+        self,
+        *,
+        cycles: Formula,
+        counters: dict[str, Formula],
+        description: str = "",
+        source: str = "<memory>",
+    ) -> None:
+        self.cycles = cycles
+        self.counters = counters
+        self.description = description
+        self.source = source
+        self._check_targets()
+        self._check_coverage()
+
+    # -- construction --------------------------------------------------
+
+    @classmethod
+    def identity(cls) -> "CounterMapping":
+        """Map every counter to an identically-named event (plus
+        ``cycles``) — the mapping under which exported simulated logs
+        round-trip bit-for-bit."""
+        return cls(
+            cycles=(("cycles", 1.0),),
+            counters={name: ((name, 1.0),) for name in COUNTER_FIELDS},
+            description="identity: external events already use our names",
+            source="<identity>",
+        )
+
+    @classmethod
+    def load(cls, path: str | pathlib.Path) -> "CounterMapping":
+        """Load and fully validate a mapping file."""
+        path = pathlib.Path(path)
+        try:
+            document = json.loads(
+                path.read_text(), object_pairs_hook=_reject_duplicate_keys
+            )
+        except OSError as error:
+            raise MappingFormatError(
+                f"cannot read mapping {path}: {error}"
+            ) from error
+        except json.JSONDecodeError as error:
+            raise MappingFormatError(
+                f"mapping {path} is not valid JSON: {error}"
+            ) from error
+        return cls.from_dict(document, source=str(path))
+
+    @classmethod
+    def from_dict(cls, document, *, source: str = "<dict>") -> "CounterMapping":
+        """Build a mapping from an already-parsed document."""
+        if not isinstance(document, dict):
+            raise MappingFormatError(f"mapping {source} is not a JSON object")
+        unknown = set(document) - _TOP_LEVEL_KEYS
+        if unknown:
+            raise MappingFormatError(
+                f"mapping {source}: unknown top-level key(s) "
+                f"{', '.join(sorted(unknown))}; allowed: "
+                f"{', '.join(sorted(_TOP_LEVEL_KEYS))}"
+            )
+        version = document.get("version")
+        if version != MAPPING_SCHEMA_VERSION:
+            raise MappingFormatError(
+                f"mapping {source} has schema version {version!r}, "
+                f"expected {MAPPING_SCHEMA_VERSION}"
+            )
+        if "cycles" not in document:
+            raise MappingFormatError(
+                f"mapping {source} is missing the required 'cycles' formula"
+            )
+        cycles = _compile_formula(
+            document["cycles"], context=f"mapping {source} key 'cycles'"
+        )
+        raw_counters = document.get("counters")
+        if not isinstance(raw_counters, dict) or not raw_counters:
+            raise MappingFormatError(
+                f"mapping {source} needs a non-empty 'counters' object"
+            )
+        counters = {
+            target: _compile_formula(
+                spec, context=f"mapping {source} counter {target!r}"
+            )
+            for target, spec in raw_counters.items()
+        }
+        return cls(
+            cycles=cycles,
+            counters=counters,
+            description=str(document.get("description", "")),
+            source=source,
+        )
+
+    # -- validation ----------------------------------------------------
+
+    def _check_targets(self) -> None:
+        for target in self.counters:
+            if target not in COUNTER_FIELDS:
+                raise UnknownTargetCounterError(
+                    f"mapping {self.source} targets unknown counter "
+                    f"{target!r}; valid counters: "
+                    f"{', '.join(COUNTER_FIELDS)}"
+                )
+
+    def _check_coverage(self) -> None:
+        """Fail loudly when a power component would price zeros.
+
+        Checked at load time against the registry's machine-readable
+        requirements — the whole point of the schema seam: an
+        under-covering mapping is a configuration error, not a quietly
+        wrong energy number.
+        """
+        mapped = set(self.counters)
+        for component, required in REGISTRY.counter_requirements().items():
+            missing = tuple(name for name in required if name not in mapped)
+            if missing:
+                raise UnmappedCounterError(component, missing)
+
+    def events(self) -> tuple[str, ...]:
+        """Every external event any formula references, in first-use
+        order (cycles first)."""
+        seen: dict[str, None] = {}
+        for event, _scale in self.cycles:
+            seen.setdefault(event)
+        for formula in self.counters.values():
+            for event, _scale in formula:
+                seen.setdefault(event)
+        return tuple(seen)
+
+    def validate_events(self, available) -> None:
+        """Check every referenced event exists somewhere in the log."""
+        available = set(available)
+        for event in self.events():
+            if event not in available:
+                referers = [
+                    target
+                    for target, formula in self.counters.items()
+                    if any(name == event for name, _scale in formula)
+                ]
+                if any(name == event for name, _scale in self.cycles):
+                    referers.insert(0, "cycles")
+                raise UnknownEventError(
+                    f"mapping {self.source} references event {event!r} "
+                    f"(used by {', '.join(referers)}) but the log never "
+                    f"records it"
+                )
+
+    # -- application ---------------------------------------------------
+
+    def apply(self, events: dict[str, float]) -> tuple[AccessCounters, float]:
+        """Translate one interval's raw events into (counters, cycles).
+
+        Events absent from this particular interval read 0 — sparse
+        logs are normal; only events absent from the *whole* log are
+        errors (:meth:`validate_events`).
+        """
+        counters = AccessCounters()
+        for target, formula in self.counters.items():
+            setattr(counters, target, _evaluate(formula, events))
+        return counters, _evaluate(self.cycles, events)

@@ -153,6 +153,20 @@ class ProcessorPowerModel:
         """Evaluate the component registry over an interval."""
         return REGISTRY.evaluate(self, counters, cycles)
 
+    def price(self, source) -> EnergyLedger:
+        """Evaluate the registry over any counter source.
+
+        ``source`` satisfies the
+        :class:`~repro.stats.source.CounterSource` protocol — a
+        simulation log, a single log record, a
+        :class:`~repro.stats.source.CounterBundle`, or an ingested
+        external run.  The pricing side neither knows nor cares who
+        produced the counters; that seam is what lets ``repro ingest``
+        price perf-style measurements with the same arithmetic as a
+        simulated run.
+        """
+        return REGISTRY.evaluate_source(self, source)
+
     def energy_by_category(
         self, counters: AccessCounters, cycles: int
     ) -> dict[str, float]:

@@ -42,6 +42,7 @@ from repro.stats.counters import COUNTER_FIELDS, UnknownCounterError
 if TYPE_CHECKING:
     from repro.power.processor import ProcessorPowerModel
     from repro.stats.counters import AccessCounters
+    from repro.stats.source import CounterSource
 
 #: An energy rule: ``(model, counters, cycles) -> terms``.  The terms
 #: are joule contributions summed in order into both the component and
@@ -157,6 +158,48 @@ class PowerRegistry:
         """Categories produced by counter evaluation (no disk)."""
         return self._counter_categories
 
+    def required_counters(self) -> tuple[str, ...]:
+        """Counters some counter-driven component consumes, in
+        :data:`~repro.stats.counters.COUNTER_FIELDS` order.
+
+        This is the pricing layer's declared input contract: an
+        external counter source (see :mod:`repro.ingest`) must supply
+        exactly these counters or some component prices zeros.
+        Counters outside this set (miss counts kept for reporting)
+        are optional.
+        """
+        consumed = set()
+        for component in self._components:
+            consumed.update(component.counters)
+        return tuple(name for name in COUNTER_FIELDS if name in consumed)
+
+    def counter_requirements(self) -> dict[str, tuple[str, ...]]:
+        """Per counter-driven component: the counters its rule reads.
+
+        Simulation-time components (the disk) consume no counters and
+        are omitted — they cannot be starved by a mapping file.
+        """
+        return {
+            component.name: component.counters
+            for component in self._components
+            if not component.simulation_time
+        }
+
+    def schema(self) -> list[dict]:
+        """The registry as plain data (for ``repro components --json``
+        and mapping-file validation tooling): one dict per component
+        with its name, category, rule inputs, and kind."""
+        return [
+            {
+                "name": component.name,
+                "category": component.category,
+                "counters": list(component.counters),
+                "simulation_time": component.simulation_time,
+                "description": component.description,
+            }
+            for component in self._components
+        ]
+
     def component(self, name: str) -> PowerComponent:
         try:
             return self._by_name[name]
@@ -213,19 +256,35 @@ class PowerRegistry:
             component_category[component.name] = category
         return EnergyLedger._raw(component_j, category_j, component_category)
 
-    def reevaluate(self, model: "ProcessorPowerModel", log) -> EnergyLedger:
+    def evaluate_source(
+        self, model: "ProcessorPowerModel", source: "CounterSource"
+    ) -> EnergyLedger:
+        """Evaluate every counter-driven component over a source.
+
+        ``source`` is anything satisfying the
+        :class:`~repro.stats.source.CounterSource` protocol — a
+        :class:`~repro.stats.simlog.SimulationLog`, one of its records,
+        a :class:`~repro.stats.source.CounterBundle`, or an
+        :class:`~repro.ingest.pricing.IngestedRun` of externally
+        measured counters.  The pricing arithmetic is identical
+        regardless of who produced the counters.
+        """
+        cycles = max(1, int(source.total_cycles()))
+        return self.evaluate(model, source.total_counters(), cycles)
+
+    def reevaluate(
+        self, model: "ProcessorPowerModel", log: "CounterSource"
+    ) -> EnergyLedger:
         """Re-price a finished run's counters under a different model.
 
-        ``log`` is any object with ``total_counters()`` and
-        ``total_cycles()`` (a :class:`~repro.stats.simlog.SimulationLog`).
+        ``log`` is any :class:`~repro.stats.source.CounterSource`.
         This is the ledger-tier sweep entry point: a power-only
         parameter change (supply voltage, calibration) re-evaluates the
         registry over cached counters instead of re-simulating, and the
         result is bit-identical to a full re-run because the counters
         are unchanged by construction.
         """
-        cycles = int(log.total_cycles()) or 1
-        return self.evaluate(model, log.total_counters(), cycles)
+        return self.evaluate_source(model, log)
 
 
 # ----------------------------------------------------------------------

@@ -7,13 +7,24 @@ acyclic — low-level modules import ``repro.stats.counters`` without
 dragging the whole stack in.
 """
 
-from repro.stats.counters import COUNTER_FIELDS, AccessCounters, rates_per_cycle
+from repro.stats.counters import (
+    COUNTER_FIELDS,
+    COUNTER_INDEX,
+    AccessCounters,
+    counters_row,
+    rates_per_cycle,
+)
+from repro.stats.source import CounterBundle, CounterSource
 from repro.stats.timing_tree import TimingNode, TimingTree
 
 __all__ = [
     "COUNTER_FIELDS",
+    "COUNTER_INDEX",
     "AccessCounters",
+    "counters_row",
     "rates_per_cycle",
+    "CounterBundle",
+    "CounterSource",
     "TimingNode",
     "TimingTree",
     "LogRecord",

@@ -9,6 +9,7 @@ accesses and power is computed from the logs after the fact.
 
 from __future__ import annotations
 
+import operator
 from typing import Iterator
 
 #: Every counted event, one per port-class of a modelled unit.
@@ -64,6 +65,8 @@ The vectorized timeline paths (:func:`counters_to_vector` /
 float64 vector in :data:`COUNTER_FIELDS` declaration order; this index
 is the single definition of that layout (documented in DESIGN.md §9).
 """
+
+_ROW_GETTER = operator.attrgetter(*COUNTER_FIELDS)
 
 try:
     import numpy as _np
@@ -166,6 +169,17 @@ class AccessCounters:
         return f"AccessCounters({nonzero!r})"
 
 
+def counters_row(counters: AccessCounters) -> tuple:
+    """All counter values as a tuple in :data:`COUNTER_INDEX` order.
+
+    The pure-Python sibling of :func:`counters_to_vector`: one C-level
+    ``attrgetter`` call instead of a per-field Python loop, returning
+    the values unchanged (no float64 conversion).  Exporters use this
+    to build per-record counter rows on the fixed vector layout.
+    """
+    return _ROW_GETTER(counters)
+
+
 def counters_to_vector(counters: AccessCounters):
     """The counters as a float64 vector in :data:`COUNTER_FIELDS` order.
 
@@ -177,10 +191,7 @@ def counters_to_vector(counters: AccessCounters):
     """
     if _np is None:  # pragma: no cover - numpy is a declared dependency
         raise RuntimeError("numpy is not available; use the per-field API")
-    return _np.array(
-        [getattr(counters, field) for field in COUNTER_FIELDS],
-        dtype=_np.float64,
-    )
+    return _np.array(_ROW_GETTER(counters), dtype=_np.float64)
 
 
 def counters_from_vector(vector) -> AccessCounters:

@@ -15,7 +15,7 @@ import pathlib
 from typing import TYPE_CHECKING
 
 from repro.kernel.modes import ExecutionMode
-from repro.stats.counters import COUNTER_FIELDS, AccessCounters
+from repro.stats.counters import COUNTER_FIELDS, AccessCounters, counters_row
 from repro.stats.postprocess import PowerTrace
 from repro.stats.simlog import LogRecord, SimulationLog
 
@@ -37,9 +37,11 @@ def write_log_csv(log: SimulationLog, path: str | pathlib.Path) -> None:
         )
         for record in log:
             modes = [record.mode_cycles.get(mode, 0.0) for mode in ExecutionMode]
-            counters = [getattr(record.counters, name) for name in COUNTER_FIELDS]
+            # One attrgetter call on the COUNTER_INDEX vector layout
+            # instead of a per-field getattr loop per record.
             writer.writerow(
-                [record.start_s, record.end_s, record.cycles, *modes, *counters]
+                [record.start_s, record.end_s, record.cycles, *modes,
+                 *counters_row(record.counters)]
             )
 
 
@@ -59,7 +61,9 @@ def write_log_json(log: SimulationLog, path: str | pathlib.Path) -> None:
                 },
                 "counters": {
                     name: value
-                    for name, value in record.counters.items()
+                    for name, value in zip(
+                        COUNTER_FIELDS, counters_row(record.counters)
+                    )
                     if value
                 },
             }

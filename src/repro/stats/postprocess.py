@@ -76,8 +76,9 @@ def compute_power_trace(
     for record in log:
         times.append((record.start_s + record.end_s) / 2.0)
         duration = record.duration_s
-        cycles = max(1, int(record.cycles))
-        ledger = model.ledger(record.counters, cycles)
+        # Each record is itself a CounterSource; pricing goes through
+        # the same seam as whole logs and ingested bundles.
+        ledger = model.price(record)
         if duration > 0:
             for name, watts in ledger.category_power_w(duration).items():
                 category_w[name].append(watts)
@@ -92,6 +93,5 @@ def total_energy_j(log: SimulationLog, model: ProcessorPowerModel) -> float:
     """Total CPU + memory energy of a log."""
     energy = 0.0
     for record in log:
-        cycles = max(1, int(record.cycles))
-        energy += model.ledger(record.counters, cycles).total_j
+        energy += model.price(record).total_j
     return energy

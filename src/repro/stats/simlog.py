@@ -21,6 +21,7 @@ import logging
 
 from repro.kernel.modes import ExecutionMode
 from repro.stats.counters import AccessCounters
+from repro.stats.source import PROVENANCE_SIMULATED, CounterBundle
 
 SIM_LOGGER = logging.getLogger("repro.sim")
 """Logger for simulation-infrastructure events (pool degradations,
@@ -75,6 +76,16 @@ class LogRecord:
             return ExecutionMode.USER
         return max(self.mode_cycles, key=lambda mode: self.mode_cycles[mode])
 
+    # -- CounterSource (one interval is itself priceable) --------------
+
+    def total_counters(self) -> AccessCounters:
+        """This interval's counters (the record *is* a CounterSource)."""
+        return self.counters
+
+    def total_cycles(self) -> float:
+        """This interval's cycles."""
+        return self.cycles
+
 
 class SimulationLog:
     """Time-ordered sample records of one simulated run."""
@@ -117,6 +128,19 @@ class SimulationLog:
         for record in self.records:
             total.add(record.counters)
         return total
+
+    def counter_bundle(
+        self, provenance: str = PROVENANCE_SIMULATED
+    ) -> CounterBundle:
+        """The whole log condensed into one provenance-carrying
+        :class:`~repro.stats.source.CounterBundle` (for export and
+        round-trip comparisons against ingested sources)."""
+        return CounterBundle(
+            counters=self.total_counters(),
+            cycles=self.total_cycles(),
+            provenance=provenance,
+            duration_s=self.duration_s,
+        )
 
     def mode_cycle_totals(self) -> dict[ExecutionMode, float]:
         """Cycles per software mode across the run."""

@@ -1,0 +1,92 @@
+"""The :class:`CounterSource` protocol and :class:`CounterBundle`.
+
+SoftWatt's architecture is "simulators write logs, power models
+post-process them" (Figure 1) — which means the pricing side of the
+pipeline should not care *who produced* the counters it evaluates.
+Historically it did: every pricing entry point reached into
+simulator-owned :class:`~repro.stats.simlog.SimulationLog` /
+:class:`~repro.stats.counters.AccessCounters` objects, so the ledger
+could only ever see counters we simulated ourselves.
+
+:class:`CounterSource` is the seam.  Anything that can answer "what
+were the total counters, over how many cycles?" can be priced through
+the :mod:`~repro.power.registry` — a simulation log, one of its
+records, a :class:`CounterBundle` snapshot, or an
+:class:`~repro.ingest.pricing.IngestedRun` built from an externally
+measured counter log (Linux-perf style, see :mod:`repro.ingest`).
+
+:class:`CounterBundle` is the minimal concrete source: a counter
+vector, a cycle count, and a *provenance* string recording where the
+numbers came from ("simulated", ``ingested:<path>``, ``mode:user``...)
+so reports and exports can say which pipeline produced them.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from typing import Protocol, runtime_checkable
+
+from repro.stats.counters import AccessCounters
+
+PROVENANCE_SIMULATED = "simulated"
+"""Provenance of counters produced by our own simulators."""
+
+PROVENANCE_INGESTED_PREFIX = "ingested:"
+"""Provenance prefix for externally measured counters; the remainder
+names the source log (see :mod:`repro.ingest`)."""
+
+
+@runtime_checkable
+class CounterSource(Protocol):
+    """Anything the pricing layer can evaluate: counters over cycles.
+
+    Implemented by :class:`~repro.stats.simlog.SimulationLog`,
+    :class:`~repro.stats.simlog.LogRecord`, :class:`CounterBundle`,
+    and :class:`~repro.ingest.pricing.IngestedRun`.  The contract is
+    read-only and total: ``total_counters()`` returns the accumulated
+    :class:`~repro.stats.counters.AccessCounters` and
+    ``total_cycles()`` the cycle count they were accumulated over.
+    """
+
+    def total_counters(self) -> AccessCounters: ...
+
+    def total_cycles(self) -> float: ...
+
+
+@dataclasses.dataclass(frozen=True)
+class CounterBundle:
+    """An immutable (counters, cycles, provenance) snapshot.
+
+    The smallest object satisfying :class:`CounterSource`; used to
+    hand a mode/label/interval slice of a run — or an externally
+    ingested interval — to the pricing layer without dragging the
+    producing simulator along.
+    """
+
+    counters: AccessCounters
+    cycles: float
+    provenance: str = PROVENANCE_SIMULATED
+    duration_s: float | None = None
+    """Wall-clock seconds the counters span, when known (enables
+    average-power views; ``None`` for cycle-only slices)."""
+
+    def __post_init__(self) -> None:
+        if self.cycles < 0:
+            raise ValueError(f"cycles cannot be negative: {self.cycles}")
+        if self.duration_s is not None and self.duration_s < 0:
+            raise ValueError(
+                f"duration_s cannot be negative: {self.duration_s}"
+            )
+
+    # -- CounterSource -------------------------------------------------
+
+    def total_counters(self) -> AccessCounters:
+        return self.counters
+
+    def total_cycles(self) -> float:
+        return self.cycles
+
+    @property
+    def ingested(self) -> bool:
+        """True when the counters came from an external measurement."""
+        return self.provenance.startswith(PROVENANCE_INGESTED_PREFIX)

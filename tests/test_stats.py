@@ -9,11 +9,14 @@ from repro.power import ProcessorPowerModel
 from repro.stats import (
     COUNTER_FIELDS,
     AccessCounters,
+    CounterBundle,
+    CounterSource,
     LogRecord,
     PowerTrace,
     SimulationLog,
     TimingTree,
     compute_power_trace,
+    counters_row,
     rates_per_cycle,
     total_energy_j,
 )
@@ -240,3 +243,61 @@ class TestPostProcess:
         with pytest.raises(ValueError):
             PowerTrace(times_s=[0.0], category_w={"l1i": [1.0, 2.0]},
                        disk_w=[0.0])
+
+
+class TestCounterSource:
+    """The CounterSource seam: logs, records, and bundles all price."""
+
+    def _log(self):
+        log = SimulationLog(0.1)
+        log.append(LogRecord(
+            start_s=0.0, end_s=0.1, cycles=1_000.0,
+            counters=AccessCounters(l1i_access=500, loads=100)))
+        log.append(LogRecord(
+            start_s=0.1, end_s=0.2, cycles=2_000.0,
+            counters=AccessCounters(l1i_access=700, stores=50)))
+        return log
+
+    def test_log_record_and_bundle_satisfy_protocol(self):
+        log = self._log()
+        bundle = log.counter_bundle()
+        for source in (log, log.records[0], bundle):
+            assert isinstance(source, CounterSource)
+
+    def test_counter_bundle_condenses_log(self):
+        log = self._log()
+        bundle = log.counter_bundle()
+        assert bundle.total_cycles() == log.total_cycles()
+        assert bundle.total_counters() == log.total_counters()
+        assert bundle.duration_s == log.duration_s
+        assert bundle.provenance == "simulated"
+        assert not bundle.ingested
+
+    def test_ingested_provenance_flag(self):
+        bundle = CounterBundle(
+            counters=AccessCounters(), cycles=10.0,
+            provenance="ingested:run.json")
+        assert bundle.ingested
+
+    def test_negative_cycles_rejected(self):
+        with pytest.raises(ValueError):
+            CounterBundle(counters=AccessCounters(), cycles=-1.0)
+
+    def test_price_agrees_across_source_kinds(self):
+        model = ProcessorPowerModel(SystemConfig.table1())
+        log = self._log()
+        whole = model.price(log)
+        bundle = model.price(log.counter_bundle())
+        assert whole.components == bundle.components
+        per_record = sum(
+            model.price(record).total_j for record in log.records
+        )
+        assert per_record == pytest.approx(whole.total_j, rel=0.05)
+
+    def test_counters_row_matches_field_order(self):
+        counters = AccessCounters(l1i_access=3, stores=7)
+        row = counters_row(counters)
+        assert len(row) == len(COUNTER_FIELDS)
+        assert row[COUNTER_FIELDS.index("l1i_access")] == 3
+        assert row[COUNTER_FIELDS.index("stores")] == 7
+        assert dict(zip(COUNTER_FIELDS, row)) == counters.as_dict()
