@@ -22,7 +22,13 @@ Times the three layers the performance work targets:
   (atomic <= 10%, sampled <= 2% total energy) are enforced always;
   the speedup gates (atomic >= 10x, sampled >= 3x) only in full mode —
   at quick-mode windows the fixed sampling floors leave too little to
-  skip for the asymptotic ratios to show.
+  skip for the asymptotic ratios to show,
+* the estimation service (``serve``): an in-process ``repro serve``
+  instance answering ``POST /run`` over loopback HTTP.  The cold
+  figure is the first request on a fresh engine (profiles computed
+  in-process); the warm figures (requests/sec, p50/p99 latency) come
+  from the resident instance answering from memory.  The served
+  answer must be bit-identical to the serial pipeline's run.
 
 Every comparison asserts bit-identical results (bounded error for the
 fidelity tiers) and exits non-zero on divergence.  ``--quick`` shrinks
@@ -40,6 +46,7 @@ import platform
 import shutil
 import sys
 import tempfile
+import threading
 import time
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
@@ -638,6 +645,81 @@ def main() -> int:
     for failure in failures:
         print(f"ERROR: {failure}", file=sys.stderr)
     if failures:
+        return 1
+
+    # Estimation service: an in-process `repro serve` answering
+    # `POST /run` over loopback HTTP.  Cold = the first request on a
+    # fresh engine (detailed profiling happens inside the request);
+    # warm = the resident instance pricing from memory.  Both answers
+    # must match the serial pipeline's jess run to the last bit.
+    from repro.serve import (  # noqa: PLC0415
+        EstimationEngine,
+        EstimationHTTPServer,
+        ServeClient,
+        serve_forever,
+    )
+
+    def _percentile_ms(sorted_s: list, q: float) -> float:
+        pos = (len(sorted_s) - 1) * q
+        lo = int(pos)
+        hi = min(lo + 1, len(sorted_s) - 1)
+        value = sorted_s[lo] + (sorted_s[hi] - sorted_s[lo]) * (pos - lo)
+        return round(value * 1000, 3)
+
+    serve_engine = EstimationEngine(
+        window_instructions=window, seed=seed, use_cache=False
+    )
+    serve_server = EstimationHTTPServer(("127.0.0.1", 0), serve_engine)
+    serve_thread = threading.Thread(
+        target=serve_forever, args=(serve_server,), daemon=True
+    )
+    serve_thread.start()
+    try:
+        with ServeClient(port=serve_server.server_address[1]) as client:
+            start = time.perf_counter()
+            cold_reply = client.run("jess")
+            serve_cold_s = time.perf_counter() - start
+            warm_requests = 40 if args.quick else 200
+            latencies = []
+            warm_reply = cold_reply
+            warm_start = time.perf_counter()
+            for _ in range(warm_requests):
+                begin = time.perf_counter()
+                warm_reply = client.run("jess")
+                latencies.append(time.perf_counter() - begin)
+            warm_wall_s = time.perf_counter() - warm_start
+    finally:
+        serve_server.begin_drain()
+        serve_thread.join(timeout=120)
+    pipeline_energy = results["jess"].total_energy_j
+    identical = (
+        cold_reply.ok
+        and warm_reply.ok
+        and not cold_reply.payload["degraded"]
+        and not warm_reply.payload["degraded"]
+        and cold_reply.payload["result"]["total_energy_j"] == pipeline_energy
+        and warm_reply.payload["result"]["total_energy_j"] == pipeline_energy
+    )
+    latencies.sort()
+    serve_stage = {
+        "cold": {"first_request_s": round(serve_cold_s, 4)},
+        "warm": {
+            "requests": warm_requests,
+            "p50_ms": _percentile_ms(latencies, 0.50),
+            "p99_ms": _percentile_ms(latencies, 0.99),
+            "requests_per_sec": round(warm_requests / warm_wall_s, 1),
+        },
+        "bit_identical_to_pipeline": identical,
+    }
+    report["serve"] = serve_stage
+    print(f"serve (jess over HTTP): cold {serve_cold_s:.3f} s, warm "
+          f"x{warm_requests} {serve_stage['warm']['requests_per_sec']:,.0f} "
+          f"req/s (p50 {serve_stage['warm']['p50_ms']:.1f} ms, p99 "
+          f"{serve_stage['warm']['p99_ms']:.1f} ms, bit-identical: "
+          f"{identical})")
+    if not identical:
+        print("ERROR: served answer diverged from the serial pipeline",
+              file=sys.stderr)
         return 1
 
     if (

@@ -28,6 +28,11 @@ from repro.resilience.faults import FaultPlan
 from repro.resilience.supervisor import TaskExecutionError
 from repro.workloads.specjvm98 import BENCHMARK_NAMES
 
+_ACTIVE_SOFTWATT: SoftWatt | None = None
+"""The command's SoftWatt instance, kept so a Ctrl-C handler can
+summarise the partial run report even when the interrupt escaped the
+supervisor (e.g. between supervised stages)."""
+
 
 def _add_resilience(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--task-timeout", type=float, default=None,
@@ -143,6 +148,7 @@ def _fidelity_kwarg(args: argparse.Namespace):
 
 
 def _make_softwatt(args: argparse.Namespace) -> SoftWatt:
+    global _ACTIVE_SOFTWATT
     softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
                         seed=args.seed,
                         fidelity=_fidelity_kwarg(args),
@@ -150,6 +156,7 @@ def _make_softwatt(args: argparse.Namespace) -> SoftWatt:
                         cache_dir=getattr(args, "cache_dir", None),
                         use_cache=not getattr(args, "no_cache", False),
                         **_resilience_kwargs(args))
+    _ACTIVE_SOFTWATT = softwatt
     if args.checkpoint:
         try:
             softwatt.load_checkpoint(args.checkpoint)
@@ -477,12 +484,14 @@ def cmd_sensitivity(args: argparse.Namespace) -> int:
 
 
 def cmd_checkpoint(args: argparse.Namespace) -> int:
+    global _ACTIVE_SOFTWATT
     softwatt = SoftWatt(cpu_model=args.cpu, window_instructions=args.window,
                         seed=args.seed, workers=args.workers,
                         fidelity=_fidelity_kwarg(args),
                         cache_dir=args.cache_dir,
                         use_cache=not args.no_cache,
                         **_resilience_kwargs(args))
+    _ACTIVE_SOFTWATT = softwatt
     names = tuple(args.benchmarks or BENCHMARK_NAMES)
     print(f"profiling {', '.join(names)}...")
     profiles = softwatt.profile_many(names)
@@ -493,6 +502,86 @@ def cmd_checkpoint(args: argparse.Namespace) -> int:
     softwatt.save_checkpoint(args.out)
     print(f"checkpoint written to {args.out}")
     return _finish(softwatt, args)
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the estimation server until drained (SIGTERM/SIGINT)."""
+    # Deliberately lazy: no other command needs the serving stack.
+    import logging  # noqa: PLC0415
+    import os  # noqa: PLC0415
+    import signal  # noqa: PLC0415
+
+    from repro.resilience.faults import ServeFaultPlan  # noqa: PLC0415
+    from repro.serve import (  # noqa: PLC0415
+        CircuitBreaker,
+        EstimationEngine,
+        EstimationHTTPServer,
+        UnixEstimationHTTPServer,
+        serve_forever,
+    )
+
+    logging.basicConfig(
+        level=logging.INFO, format="%(asctime)s %(name)s %(message)s"
+    )
+    fault_plan = None
+    if args.serve_fault_plan:
+        fault_plan = ServeFaultPlan.parse(
+            args.serve_fault_plan, slow_seconds=args.slow_seconds
+        )
+    engine = EstimationEngine(
+        window_instructions=args.window,
+        seed=args.seed,
+        workers=args.workers,
+        cache_dir=args.cache_dir,
+        use_cache=not args.no_cache,
+        breaker=CircuitBreaker(
+            failure_threshold=args.breaker_failures,
+            cooldown_s=args.breaker_cooldown,
+        ),
+        default_deadline_s=args.default_deadline,
+        retries=args.retries,
+        fault_plan=fault_plan,
+    )
+    if args.socket:
+        if os.path.exists(args.socket):
+            os.unlink(args.socket)  # a previous run's stale socket
+        server = UnixEstimationHTTPServer(
+            args.socket, engine,
+            queue_depth=args.queue_depth, retry_after_s=args.retry_after,
+        )
+        location = f"unix:{args.socket}"
+    else:
+        server = EstimationHTTPServer(
+            (args.host, args.port), engine,
+            queue_depth=args.queue_depth, retry_after_s=args.retry_after,
+        )
+        location = f"http://{args.host}:{server.server_address[1]}"
+
+    def _drain(signum, frame):
+        print(f"(received {signal.Signals(signum).name}; draining)",
+              flush=True)
+        server.begin_drain()
+
+    signal.signal(signal.SIGTERM, _drain)
+    signal.signal(signal.SIGINT, _drain)
+    if args.warm:
+        primed = engine.warm(args.warm.split(","))
+        print(f"(warmed {primed} benchmark(s))", flush=True)
+    print(f"listening on {location}", flush=True)
+    summary = serve_forever(server)
+    if args.socket and os.path.exists(args.socket):
+        os.unlink(args.socket)
+    counters = summary["counters"]
+    admission = summary["admission"]
+    print(f"drained: {counters['requests']} request(s) "
+          f"({counters['ok']} ok, {counters['degraded']} degraded, "
+          f"{admission['rejected']} rejected at admission)")
+    if summary["cache"] is not None:
+        cache = summary["cache"]
+        print(f"cache: {cache['hits']} hit(s), {cache['misses']} miss(es), "
+              f"{cache['stores']} store(s), "
+              f"{cache['quarantined']} quarantined")
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -601,6 +690,47 @@ def build_parser() -> argparse.ArgumentParser:
     _add_resilience(p)
     p.set_defaults(func=cmd_sensitivity)
 
+    p = sub.add_parser("serve",
+                       help="long-running estimation server (HTTP)")
+    p.add_argument("--host", default="127.0.0.1")
+    p.add_argument("--port", type=int, default=8437,
+                   help="TCP port (0 picks a free one; default: 8437)")
+    p.add_argument("--socket", metavar="PATH",
+                   help="serve on a Unix domain socket instead of TCP")
+    p.add_argument("--queue-depth", type=int, default=4,
+                   help="max in-flight requests before 429 (default: 4)")
+    p.add_argument("--retry-after", type=float, default=2.0,
+                   metavar="SECONDS",
+                   help="Retry-After hint on 429 responses (default: 2)")
+    p.add_argument("--breaker-failures", type=int, default=3,
+                   help="consecutive detailed-tier failures before the "
+                        "circuit breaker opens (default: 3)")
+    p.add_argument("--breaker-cooldown", type=float, default=30.0,
+                   metavar="SECONDS",
+                   help="open time before a half-open probe (default: 30)")
+    p.add_argument("--default-deadline", type=float, default=None,
+                   metavar="SECONDS",
+                   help="deadline for requests that carry none "
+                        "(default: unlimited)")
+    p.add_argument("--warm", metavar="BENCH1,BENCH2",
+                   help="pre-simulate benchmarks before accepting traffic")
+    p.add_argument("--window", type=int, default=40_000)
+    p.add_argument("--seed", type=int, default=1)
+    p.add_argument("--workers", type=int, default=1)
+    p.add_argument("--cache-dir", metavar="DIR",
+                   help="persistent profile cache directory "
+                        "(default: $REPRO_CACHE_DIR, or disabled)")
+    p.add_argument("--no-cache", action="store_true")
+    p.add_argument("--retries", type=int, default=2)
+    p.add_argument("--serve-fault-plan", metavar="SPEC",
+                   help="inject deterministic server faults, e.g. "
+                        "'slow@2x2,kill@5' (KIND@INDEX[xSPAN]; kinds: "
+                        "slow, kill, flood)")
+    p.add_argument("--slow-seconds", type=float, default=2.0,
+                   help="duration of injected slow-request faults "
+                        "(default: 2)")
+    p.set_defaults(func=cmd_serve)
+
     p = sub.add_parser("checkpoint", help="profile benchmarks and save")
     p.add_argument("benchmarks", nargs="*",
                    help="benchmarks to profile (default: all six)")
@@ -623,8 +753,11 @@ def main(argv: list[str] | None = None) -> int:
 
     Exit codes: 0 clean (or tolerated degradations without ``--strict``),
     1 degraded under ``--strict`` or a task failed after retries,
-    2 invalid system configuration or fault-plan spec.
+    2 invalid system configuration or fault-plan spec,
+    130 interrupted (with a partial run-report summary, not a traceback).
     """
+    global _ACTIVE_SOFTWATT
+    _ACTIVE_SOFTWATT = None
     parser = build_parser()
     args = parser.parse_args(argv)
     try:
@@ -641,6 +774,14 @@ def main(argv: list[str] | None = None) -> int:
         print(f"error: {error}", file=sys.stderr)
         print(error.report.summary(), file=sys.stderr)
         return 1
+    except KeyboardInterrupt as error:
+        print("interrupted", file=sys.stderr)
+        report = getattr(error, "report", None)
+        if report is None and _ACTIVE_SOFTWATT is not None:
+            report = _ACTIVE_SOFTWATT.run_report
+        if report is not None and (report.tasks or report.degraded):
+            print(report.summary(), file=sys.stderr)
+        return 130
 
 
 if __name__ == "__main__":

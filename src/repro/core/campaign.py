@@ -196,6 +196,29 @@ class SweepResult:
         """The design point with the lowest EDP."""
         return min(self.points, key=lambda point: point.energy_delay_product)
 
+    def to_dict(self) -> dict:
+        """JSON-ready form (the serve ``/sweep`` response body)."""
+        return {
+            "parameter": self.parameter,
+            "benchmark": self.benchmark,
+            "tiers": list(self.tiers),
+            "fidelities": list(self.fidelities),
+            "points": [
+                {
+                    "value": point.value,
+                    "energy_j": point.energy_j,
+                    "duration_s": point.duration_s,
+                    "average_power_w": point.average_power_w,
+                    "peak_power_w": point.peak_power_w,
+                    "energy_delay_product": point.energy_delay_product,
+                    "kernel_share_pct": point.kernel_share_pct,
+                    "budget_shares": dict(point.budget_shares),
+                }
+                for point in self.points
+            ],
+            "run_report": self.report.to_dict() if self.report else None,
+        }
+
     def format(self) -> str:
         """A compact table of the sweep."""
         lines = [f"sweep of {self.parameter} on {self.benchmark}:"]

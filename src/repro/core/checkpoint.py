@@ -278,6 +278,10 @@ class CacheStats:
     evictions: int = 0
     quarantined: int = 0
 
+    def as_dict(self) -> dict[str, int]:
+        """JSON-ready counters (the serve ``/stats`` and drain flush)."""
+        return dataclasses.asdict(self)
+
 
 class ProfileCache:
     """Content-addressed on-disk cache of profiling results.

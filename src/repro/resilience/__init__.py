@@ -12,6 +12,8 @@ from repro.resilience.faults import (
     FaultPlan,
     FaultSpec,
     InjectedFault,
+    ServeFaultPlan,
+    ServeFaultSpec,
     corrupt_file,
     truncate_file,
 )
@@ -22,6 +24,7 @@ from repro.resilience.runreport import (
     TaskRecord,
 )
 from repro.resilience.supervisor import (
+    SupervisionInterrupted,
     SupervisorPolicy,
     TaskExecutionError,
     supervised_map,
@@ -34,6 +37,9 @@ __all__ = [
     "InjectedFault",
     "ReportedMapping",
     "RunReport",
+    "ServeFaultPlan",
+    "ServeFaultSpec",
+    "SupervisionInterrupted",
     "SupervisorPolicy",
     "TaskExecutionError",
     "TaskRecord",

@@ -148,6 +148,109 @@ class FaultPlan:
 
 
 # ---------------------------------------------------------------------------
+# Server-side fault injection (repro serve)
+# ---------------------------------------------------------------------------
+
+SLOW_REQUEST = "slow-request"
+POOL_KILL = "pool-kill"
+QUEUE_FLOOD = "queue-flood"
+_SERVE_KINDS = (SLOW_REQUEST, POOL_KILL, QUEUE_FLOOD)
+
+_SERVE_ALIASES = {
+    "slow": SLOW_REQUEST,
+    "kill": POOL_KILL,
+    "flood": QUEUE_FLOOD,
+}
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeFaultSpec:
+    """One planned server-side fault: fire for ``span`` consecutive
+    request ordinals starting at ``index``."""
+
+    kind: str
+    index: int
+    span: int = 1
+
+    def __post_init__(self) -> None:
+        if self.kind not in _SERVE_KINDS:
+            raise ValueError(
+                f"unknown serve fault kind {self.kind!r}; "
+                f"use one of {_SERVE_KINDS}"
+            )
+        if self.index < 0:
+            raise ValueError("serve fault index must be non-negative")
+        if self.span < 1:
+            raise ValueError("serve fault must cover at least one request")
+
+    def triggers(self, index: int) -> bool:
+        """True when this spec fires for request ordinal ``index``."""
+        return self.index <= index < self.index + self.span
+
+
+@dataclasses.dataclass(frozen=True)
+class ServeFaultPlan:
+    """A deterministic schedule of faults for the estimation server.
+
+    Mirrors :class:`FaultPlan`, but keyed by the server's monotonically
+    increasing *request ordinal* (assigned at admission of each POST)
+    instead of (task, attempt), so a serving failure sequence is a pure
+    function of request arrival order:
+
+    * ``slow-request`` — the guarded execution sleeps
+      ``slow_seconds`` (a slow structural point: exercises request
+      deadlines and, because the sleep holds the engine's instance
+      lock, admission-queue backpressure);
+    * ``pool-kill`` — the detailed-tier execution dies (exercises the
+      circuit breaker and the fidelity degradation ladder);
+    * ``queue-flood`` — the admission gate reports itself full
+      (exercises 429 + Retry-After handling in clients).
+    """
+
+    specs: tuple[ServeFaultSpec, ...] = ()
+    slow_seconds: float = 2.0
+
+    @classmethod
+    def parse(cls, text: str, *, slow_seconds: float = 2.0) -> "ServeFaultPlan":
+        """Parse ``"slow@2x3,kill@5"`` → specs (``xN`` = N consecutive
+        requests; kinds accept the short aliases slow/kill/flood).
+
+        This is the CLI surface (``repro serve --serve-fault-plan``).
+        """
+        specs = []
+        for part in text.split(","):
+            part = part.strip()
+            if not part:
+                continue
+            try:
+                kind, _, where = part.partition("@")
+                index_text, _, span_text = where.partition("x")
+                specs.append(
+                    ServeFaultSpec(
+                        kind=_SERVE_ALIASES.get(kind, kind),
+                        index=int(index_text),
+                        span=int(span_text) if span_text else 1,
+                    )
+                )
+            except ValueError as error:
+                raise ValueError(
+                    f"bad serve fault spec {part!r} (expected "
+                    f"KIND@INDEX[xSPAN]): {error}"
+                ) from error
+        return cls(specs=tuple(specs), slow_seconds=slow_seconds)
+
+    def action(self, index: int) -> str | None:
+        """The fault kind to inject for request ordinal ``index``, or
+        None (negative ordinals — e.g. warm-up traffic — never fault)."""
+        if index < 0:
+            return None
+        for spec in self.specs:
+            if spec.triggers(index):
+                return spec.kind
+        return None
+
+
+# ---------------------------------------------------------------------------
 # File-damage helpers (cache quarantine / checkpoint recovery rigs)
 # ---------------------------------------------------------------------------
 

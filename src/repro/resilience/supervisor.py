@@ -34,6 +34,7 @@ from __future__ import annotations
 import collections
 import concurrent.futures
 import dataclasses
+import hashlib
 import os
 import time
 from concurrent.futures import FIRST_COMPLETED, wait
@@ -63,6 +64,15 @@ class TaskExecutionError(RuntimeError):
         self.report = report
 
 
+class SupervisionInterrupted(KeyboardInterrupt):
+    """Ctrl-C arrived mid-supervision; ``report`` holds the partial
+    outcome so callers (the CLI) can summarise what completed."""
+
+    def __init__(self, report: RunReport) -> None:
+        super().__init__()
+        self.report = report
+
+
 @dataclasses.dataclass(frozen=True)
 class SupervisorPolicy:
     """Knobs governing retries, timeouts, and degradation."""
@@ -84,6 +94,15 @@ class SupervisorPolicy:
     """When True, exhausted tasks yield ``None`` results instead of
     raising :class:`TaskExecutionError`."""
 
+    backoff_jitter: float = 0.0
+    """Spread each backoff delay by up to ±``jitter/2`` of itself so a
+    fleet of clients retrying against one server desynchronises.  The
+    spread is a *pure function* of ``(jitter_seed, task index,
+    attempt)`` — hash-derived, no RNG state — so schedules stay
+    reproducible.  0.0 (default) keeps the exact classic delays."""
+
+    jitter_seed: int = 0
+
     def __post_init__(self) -> None:
         if self.retries < 0:
             raise ValueError("retries must be non-negative")
@@ -93,16 +112,25 @@ class SupervisorPolicy:
             raise ValueError("backoff must be non-negative and non-shrinking")
         if self.max_pool_rebuilds < 0:
             raise ValueError("max_pool_rebuilds must be non-negative")
+        if not 0.0 <= self.backoff_jitter <= 1.0:
+            raise ValueError("backoff_jitter must be within [0, 1]")
 
     @property
     def max_attempts(self) -> int:
         return self.retries + 1
 
-    def backoff_s(self, attempt: int) -> float:
+    def backoff_s(self, attempt: int, index: int = 0) -> float:
         """Deterministic delay before 1-based ``attempt`` (0 for the first)."""
         if attempt <= 1 or self.backoff_base_s == 0.0:
             return 0.0
-        return self.backoff_base_s * self.backoff_factor ** (attempt - 2)
+        delay = self.backoff_base_s * self.backoff_factor ** (attempt - 2)
+        if self.backoff_jitter == 0.0:
+            return delay
+        digest = hashlib.sha256(
+            f"{self.jitter_seed}:{index}:{attempt}".encode()
+        ).digest()
+        unit = int.from_bytes(digest[:8], "big") / float(1 << 64)
+        return delay * (1.0 + self.backoff_jitter * (unit - 0.5))
 
 
 def _invoke(fn, item, fault_plan, index, attempt):
@@ -175,9 +203,23 @@ class _Supervision:
             self.pending.append(index)
 
     def _sleep_backoff(self, index: int) -> None:
-        delay = self.policy.backoff_s(self.attempts[index])
+        delay = self.policy.backoff_s(self.attempts[index], index)
         if delay > 0:
             time.sleep(delay)
+
+    def dispatch(self, runner, *args) -> None:
+        """Run an execution strategy, converting Ctrl-C into
+        :class:`SupervisionInterrupted` carrying the partial report."""
+        try:
+            runner(*args)
+        except KeyboardInterrupt:
+            self.report.tasks.sort(key=lambda task: task.index)
+            self.degrade(
+                "interrupted",
+                f"interrupted by user with {len(self.report.completed)} of "
+                f"{len(self.items)} task(s) completed",
+            )
+            raise SupervisionInterrupted(self.report) from None
 
     # -- serial execution ----------------------------------------------
 
@@ -405,7 +447,7 @@ def supervised_map(
     pool_wanted = (requested > 1) if use_pool is None else use_pool
     if not pool_wanted or len(items) <= 1:
         state.report.effective_workers = 1
-        state.run_serial(range(len(items)))
+        state.dispatch(state.run_serial, range(len(items)))
         return state.finish()
     try:
         # Deliberately lazy: the serial path never initialises
@@ -421,8 +463,8 @@ def supervised_map(
             f"cannot create fork worker pool ({type(error).__name__}: "
             f"{error}); running {len(items)} task(s) serially",
         )
-        state.run_serial(range(len(items)))
+        state.dispatch(state.run_serial, range(len(items)))
         return state.finish()
     state.report.effective_workers = workers
-    state.run_pool(context, workers)
+    state.dispatch(state.run_pool, context, workers)
     return state.finish()

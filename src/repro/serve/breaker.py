@@ -1,0 +1,113 @@
+"""Circuit breaker guarding the detailed simulation tier.
+
+The detailed tier is the expensive, fragile rung of the fidelity
+ladder: a structural point is where worker crashes and deadline
+breaches live.  The breaker watches consecutive failures of that tier
+and, once ``failure_threshold`` is reached, *opens* — callers stop
+attempting detailed runs and fall straight through to the degradation
+ladder (``sampled`` → ``atomic`` → ledger-only).  After ``cooldown_s``
+the breaker moves to *half-open* and admits exactly one probe request;
+a probe success closes the breaker, a probe failure re-opens it and
+restarts the cooldown.
+
+The clock is injectable so state transitions are testable without
+sleeping.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable
+
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half-open"
+
+
+class CircuitBreaker:
+    """Consecutive-failure breaker with a single-probe half-open state."""
+
+    def __init__(
+        self,
+        *,
+        failure_threshold: int = 3,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if failure_threshold < 1:
+            raise ValueError("failure_threshold must be at least 1")
+        if cooldown_s < 0:
+            raise ValueError("cooldown_s must be non-negative")
+        self.failure_threshold = failure_threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._consecutive_failures = 0
+        self._opened_at: float | None = None
+        self._probe_in_flight = False
+        self.opens = 0
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            self._resolve_cooldown()
+            return self._state
+
+    def allow(self) -> bool:
+        """May the caller attempt the guarded (detailed) tier now?
+
+        In half-open state only one caller at a time gets a True (the
+        probe); everyone else is told to degrade until the probe's
+        verdict lands.
+        """
+        with self._lock:
+            self._resolve_cooldown()
+            if self._state == CLOSED:
+                return True
+            if self._state == HALF_OPEN and not self._probe_in_flight:
+                self._probe_in_flight = True
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            self._state = CLOSED
+            self._consecutive_failures = 0
+            self._opened_at = None
+            self._probe_in_flight = False
+
+    def record_failure(self) -> None:
+        with self._lock:
+            self._consecutive_failures += 1
+            if (
+                self._state == HALF_OPEN
+                or self._consecutive_failures >= self.failure_threshold
+            ):
+                self._trip()
+
+    def _trip(self) -> None:
+        if self._state != OPEN:
+            self.opens += 1
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._probe_in_flight = False
+
+    def _resolve_cooldown(self) -> None:
+        """OPEN → HALF_OPEN once the cooldown has elapsed (lock held)."""
+        if self._state == OPEN and self._opened_at is not None:
+            if self._clock() - self._opened_at >= self.cooldown_s:
+                self._state = HALF_OPEN
+                self._probe_in_flight = False
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            self._resolve_cooldown()
+            return {
+                "state": self._state,
+                "consecutive_failures": self._consecutive_failures,
+                "failure_threshold": self.failure_threshold,
+                "cooldown_s": self.cooldown_s,
+                "opens": self.opens,
+            }

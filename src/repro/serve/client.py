@@ -1,0 +1,137 @@
+"""A minimal stdlib client for the estimation server.
+
+Used by the bench load generator, the CI smoke test, and anyone who
+wants typed access without hand-writing ``http.client`` calls.  One
+:class:`ServeClient` holds one keep-alive connection; replies come
+back as :class:`Reply` (status, parsed JSON payload, headers).
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import http.client
+import json
+import socket
+
+
+@dataclasses.dataclass(frozen=True)
+class Reply:
+    """One HTTP exchange's outcome."""
+
+    status: int
+    payload: dict
+    headers: dict
+
+    @property
+    def ok(self) -> bool:
+        return 200 <= self.status < 300
+
+
+class _UnixHTTPConnection(http.client.HTTPConnection):
+    """An HTTPConnection whose transport is a Unix domain socket."""
+
+    def __init__(self, path: str, timeout=None) -> None:
+        super().__init__("localhost", timeout=timeout)
+        self._unix_path = path
+
+    def connect(self) -> None:
+        self.sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+        if self.timeout is not None:
+            self.sock.settimeout(self.timeout)
+        self.sock.connect(self._unix_path)
+
+
+class ServeClient:
+    """Talk to a running ``repro serve`` over TCP or a Unix socket."""
+
+    def __init__(
+        self,
+        *,
+        host: str = "127.0.0.1",
+        port: int | None = None,
+        socket_path: str | None = None,
+        timeout_s: float | None = 60.0,
+    ) -> None:
+        if (port is None) == (socket_path is None):
+            raise ValueError("pass exactly one of port= or socket_path=")
+        self._host = host
+        self._port = port
+        self._socket_path = socket_path
+        self._timeout_s = timeout_s
+        self._connection: http.client.HTTPConnection | None = None
+
+    def _connect(self) -> http.client.HTTPConnection:
+        if self._connection is None:
+            if self._socket_path is not None:
+                self._connection = _UnixHTTPConnection(
+                    self._socket_path, timeout=self._timeout_s
+                )
+            else:
+                self._connection = http.client.HTTPConnection(
+                    self._host, self._port, timeout=self._timeout_s
+                )
+        return self._connection
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServeClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> Reply:
+        connection = self._connect()
+        payload = None if body is None else json.dumps(body).encode()
+        headers = {} if payload is None else {
+            "Content-Type": "application/json",
+            "Content-Length": str(len(payload)),
+        }
+        try:
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        except (http.client.HTTPException, OSError):
+            # A dropped keep-alive connection is retried once fresh.
+            self.close()
+            connection = self._connect()
+            connection.request(method, path, body=payload, headers=headers)
+            response = connection.getresponse()
+            raw = response.read()
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"raw": raw.decode(errors="replace")}
+        return Reply(
+            status=response.status,
+            payload=decoded,
+            headers=dict(response.getheaders()),
+        )
+
+    # -- convenience ----------------------------------------------------
+
+    def get(self, path: str) -> Reply:
+        return self._request("GET", path)
+
+    def post(self, path: str, body: dict) -> Reply:
+        return self._request("POST", path, body)
+
+    def healthz(self) -> Reply:
+        return self.get("/healthz")
+
+    def readyz(self) -> Reply:
+        return self.get("/readyz")
+
+    def stats(self) -> Reply:
+        return self.get("/stats")
+
+    def run(self, benchmark: str, **fields) -> Reply:
+        return self.post("/run", {"benchmark": benchmark, **fields})
+
+    def sweep(self, parameter: str, values: list, **fields) -> Reply:
+        return self.post(
+            "/sweep", {"parameter": parameter, "values": values, **fields}
+        )

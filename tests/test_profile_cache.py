@@ -171,3 +171,65 @@ class TestPersistentCache:
         sw = SoftWatt(window_instructions=WINDOW, seed=1, cache_dir=missing)
         profile = sw.profile("jess")
         assert profile.phases  # profiling itself unaffected
+
+
+class TestConcurrentQuarantine:
+    """Two readers hit the same corrupt entry: exactly one quarantines
+    it, the other re-simulates — no crash, no double-move."""
+
+    def _corrupt_all(self, tmp_path) -> int:
+        entries = list(tmp_path.glob("*.json"))
+        for path in entries:
+            path.write_text("{ not json")
+        return len(entries)
+
+    def test_quarantine_race_is_single_winner(self, tmp_path):
+        make_sw(tmp_path).profile("jess")
+        entries = list(tmp_path.glob("*.json"))
+        self._corrupt_all(tmp_path)
+        # Interleave the exact race: both caches decided to quarantine
+        # the same path; the second mover finds it already gone.
+        cache_a, cache_b = ProfileCache(tmp_path), ProfileCache(tmp_path)
+        for path in entries:
+            cache_a._quarantine(path)
+            cache_b._quarantine(path)
+        assert cache_a.stats.quarantined == len(entries)
+        assert cache_b.stats.quarantined == 0
+        quarantined = list((tmp_path / "quarantine").glob("*.json"))
+        assert len(quarantined) == len(entries)  # no double-move
+
+    def test_threaded_readers_one_quarantine_both_valid(self, tmp_path):
+        import threading
+
+        reference = make_sw(tmp_path)
+        expected = reference.profile("jess")
+        assert self._corrupt_all(tmp_path) >= 1
+        barrier = threading.Barrier(2)
+        outcomes: dict[int, object] = {}
+
+        def read(slot: int) -> None:
+            sw = make_sw(tmp_path)  # own ProfileCache on the shared dir
+            barrier.wait()
+            try:
+                outcomes[slot] = sw.profile("jess")
+            except Exception as error:  # noqa: BLE001 - the test's assertion
+                outcomes[slot] = error
+            outcomes[f"stats{slot}"] = sw.cache.stats
+
+        threads = [
+            threading.Thread(target=read, args=(slot,)) for slot in (0, 1)
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        for slot in (0, 1):
+            assert not isinstance(outcomes[slot], Exception), outcomes[slot]
+            for name, phase in expected.phases.items():
+                assert (outcomes[slot].phases[name].aggregate.cycles
+                        == phase.aggregate.cycles)
+        total = sum(outcomes[f"stats{slot}"].quarantined for slot in (0, 1))
+        quarantined = list((tmp_path / "quarantine").glob("*.json"))
+        # Every quarantine file had exactly one mover across the two
+        # threads: counters and files agree, nothing double-moved.
+        assert total == len(quarantined) >= 1

@@ -20,6 +20,7 @@ from repro.resilience import (
     FaultPlan,
     FaultSpec,
     RunReport,
+    SupervisionInterrupted,
     SupervisorPolicy,
     TaskExecutionError,
     corrupt_file,
@@ -90,6 +91,75 @@ class TestPolicy:
             SupervisorPolicy(retries=-1)
         with pytest.raises(ValueError):
             SupervisorPolicy(task_timeout_s=0.0)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_jitter=1.5)
+        with pytest.raises(ValueError):
+            SupervisorPolicy(backoff_jitter=-0.1)
+
+    def test_jitter_off_by_default_keeps_classic_delays(self):
+        plain = SupervisorPolicy(backoff_base_s=0.1, backoff_factor=2.0)
+        for attempt in range(1, 6):
+            for index in (0, 3, 17):
+                assert plain.backoff_s(attempt, index) == plain.backoff_s(attempt)
+
+    def test_jitter_is_deterministic_and_bounded(self):
+        policy = SupervisorPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_jitter=0.5
+        )
+        again = SupervisorPolicy(
+            backoff_base_s=0.1, backoff_factor=2.0, backoff_jitter=0.5
+        )
+        for attempt in (2, 3, 4):
+            base = 0.1 * 2.0 ** (attempt - 2)
+            for index in range(8):
+                delay = policy.backoff_s(attempt, index)
+                # Pure function of (seed, index, attempt): same inputs,
+                # same delay, every time.
+                assert delay == again.backoff_s(attempt, index)
+                assert base * 0.75 <= delay <= base * 1.25
+        assert policy.backoff_s(1, index=5) == 0.0
+
+    def test_jitter_spreads_across_indices_and_seeds(self):
+        policy = SupervisorPolicy(backoff_base_s=0.1, backoff_jitter=1.0)
+        delays = {policy.backoff_s(2, index) for index in range(16)}
+        assert len(delays) == 16  # no two clients synchronize
+        reseeded = SupervisorPolicy(
+            backoff_base_s=0.1, backoff_jitter=1.0, jitter_seed=7
+        )
+        assert reseeded.backoff_s(2, 0) != policy.backoff_s(2, 0)
+
+
+class TestInterrupt:
+    def test_interrupt_carries_partial_report(self):
+        calls = []
+
+        def flaky(value):
+            calls.append(value)
+            if value == 2:
+                raise KeyboardInterrupt
+            return 2 * value
+
+        with pytest.raises(SupervisionInterrupted) as info:
+            supervised_map(flaky, [1, 2, 3])
+        report = info.value.report
+        assert calls == [1, 2]  # task 2 never ran
+        assert len(report.completed) == 1
+        assert report.completed[0].index == 0
+        assert any(d.kind == "interrupted" for d in report.degradations)
+
+    def test_interrupt_is_a_keyboard_interrupt(self):
+        # `except KeyboardInterrupt` in callers keeps working.
+        assert issubclass(SupervisionInterrupted, KeyboardInterrupt)
+
+    def test_cli_interrupt_exits_130_with_summary(self, monkeypatch, capsys):
+        def boom(self):
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(SoftWatt, "validate_max_power", boom)
+        assert main(["validate", "--no-cache"]) == 130
+        captured = capsys.readouterr()
+        assert "interrupted" in captured.err
+        assert "Traceback" not in captured.err
 
 
 class TestSerialSupervision:
