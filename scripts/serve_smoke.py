@@ -14,7 +14,12 @@ Exercises the full service lifecycle the way an operator sees it:
    and assert the overflow is rejected with ``429`` + ``Retry-After``,
 5. start one more injected-slow request, send SIGTERM mid-flight, and
    assert the in-flight request still gets its 200 before the process
-   exits 0 with a drain summary.
+   exits 0 with a drain summary,
+6. (second server, deep queue) fire 32+ concurrent estimation requests
+   — mixed identical and distinct — through ``POST /estimate/batch``,
+   SIGTERM while they are in flight, and assert every admitted batch
+   still answers with per-item statuses, identical items return
+   identical results, and the drain exits 0.
 
 Exit code 0 on success; 1 with a diagnostic on any failure.
 """
@@ -48,13 +53,11 @@ def fail(message: str, server: subprocess.Popen | None = None) -> int:
     return 1
 
 
-def main() -> int:
+def launch(extra_args: list[str]) -> subprocess.Popen:
     command = [
         sys.executable, "-m", "repro", "serve",
         "--port", "0", "--window", str(WINDOW), "--no-cache",
-        "--queue-depth", "2",
-        "--serve-fault-plan", FAULT_PLAN,
-        "--slow-seconds", str(SLOW_S),
+        *extra_args,
     ]
     env = dict(os.environ)
     env["PYTHONPATH"] = os.pathsep.join(
@@ -62,10 +65,18 @@ def main() -> int:
                     env.get("PYTHONPATH"))
         if p
     )
-    server = subprocess.Popen(
+    return subprocess.Popen(
         command, stdout=subprocess.PIPE, stderr=subprocess.STDOUT,
         text=True, env=env,
     )
+
+
+def main() -> int:
+    server = launch([
+        "--queue-depth", "2",
+        "--serve-fault-plan", FAULT_PLAN,
+        "--slow-seconds", str(SLOW_S),
+    ])
     lines: list[str] = []
 
     def read_line(timeout_s: float = 60.0) -> str:
@@ -189,7 +200,113 @@ def main() -> int:
     transcript = "\n".join(lines)
     if "draining" not in transcript or "drained:" not in transcript:
         return fail("drain summary missing from server output", server)
-    print("serve smoke: PASS")
+    print("serve smoke (faults + drain): PASS")
+    return batch_smoke()
+
+
+def batch_smoke() -> int:
+    """Phase 6: concurrent batch-endpoint traffic across a drain."""
+    server = launch(["--queue-depth", "64", "--max-batch", "32"])
+    lines: list[str] = []
+
+    port = None
+    while port is None:
+        line = server.stdout.readline()
+        if not line:
+            return fail("batch server exited before announcing its port",
+                        server)
+        lines.append(line.rstrip())
+        print(f"  server| {lines[-1]}")
+        match = re.search(r"listening on http://[^:]+:(\d+)", line)
+        if match:
+            port = int(match.group(1))
+
+    def pump() -> None:
+        for line in server.stdout:
+            lines.append(line.rstrip())
+            print(f"  server| {lines[-1]}")
+
+    pump_thread = threading.Thread(target=pump, daemon=True)
+    pump_thread.start()
+
+    # 8 connections x 4-item batches = 32 concurrent estimation
+    # requests: half identical (jess, coalescable by single-flight),
+    # half distinct across benchmarks and fidelities.
+    distinct = [
+        {"benchmark": name, "fidelity": "atomic"}
+        for name in ("db", "javac", "mtrt", "compress", "jack", "jess")
+    ]
+    batches = []
+    for index in range(8):
+        items = [
+            {"benchmark": "jess"},
+            {"benchmark": "jess"},
+            distinct[index % len(distinct)],
+            distinct[(index + 1) % len(distinct)],
+        ]
+        batches.append(items)
+    replies: dict[int, object] = {}
+
+    def post_batch(slot: int) -> None:
+        with ServeClient(port=port, timeout_s=300.0) as own:
+            replies[slot] = own.run_batch(batches[slot])
+
+    threads = [
+        threading.Thread(target=post_batch, args=(slot,))
+        for slot in range(len(batches))
+    ]
+    for thread in threads:
+        thread.start()
+
+    # SIGTERM while the batches are in flight: every admitted batch
+    # must still be answered in full before the process exits 0.
+    probe = ServeClient(port=port, timeout_s=30.0)
+    deadline = time.monotonic() + 60.0
+    while time.monotonic() < deadline:
+        stats = probe.stats()
+        if stats.ok and stats.payload["admission"]["in_flight"] >= 1:
+            break
+        time.sleep(0.02)
+    else:
+        return fail("batch requests never entered the gate", server)
+    probe.close()
+    server.send_signal(signal.SIGTERM)
+    for thread in threads:
+        thread.join(timeout=300)
+
+    jess_results = set()
+    total_items = 0
+    for slot in range(len(batches)):
+        reply = replies.get(slot)
+        if reply is None or reply.status != 200:
+            return fail(f"batch {slot} failed across drain: {reply}", server)
+        items = reply.payload["items"]
+        if len(items) != len(batches[slot]):
+            return fail(f"batch {slot} returned {len(items)} items, "
+                        f"expected {len(batches[slot])}", server)
+        for item, sent in zip(items, batches[slot]):
+            total_items += 1
+            if item["status"] != 200:
+                return fail(f"batch {slot} item {sent} -> {item['status']}: "
+                            f"{item.get('error')}", server)
+            if sent == {"benchmark": "jess"}:
+                jess_results.add(
+                    repr(sorted(item["result"].items()))
+                )
+    if len(jess_results) != 1:
+        return fail(f"identical jess items returned "
+                    f"{len(jess_results)} distinct results", server)
+    print(f"batch flood: ok ({total_items} items over {len(batches)} "
+          f"connections, identical items bit-identical)")
+
+    code = server.wait(timeout=300)
+    pump_thread.join(timeout=10)
+    if code != 0:
+        return fail(f"batch server exited {code}, expected 0", server)
+    transcript = "\n".join(lines)
+    if "batching:" not in transcript:
+        return fail("batching summary missing from drain output", server)
+    print("serve smoke (batch endpoint + drain): PASS")
     return 0
 
 

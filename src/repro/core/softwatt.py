@@ -170,10 +170,60 @@ class SoftWatt:
         self._profiles[spec.name] = profile
         return profile
 
+    def pending_lanes(
+        self, names=BENCHMARK_NAMES
+    ) -> "list[tuple[SoftWatt, BenchmarkSpec]]":
+        """Uncached (instance, spec) pairs eligible for lockstep lanes.
+
+        The prepared-lanes entry point below the campaign layer: callers
+        (the campaign tier-S prebuild, the serve batch scheduler)
+        assemble pairs from several instances, turn each into a
+        :meth:`Profiler.lane_task`, and hand the set to
+        :func:`~repro.cpu.batch.profile_benchmarks_batched`.  Pairs are
+        eligible only on the detailed Mipsy tier (the SoA engine
+        implements exactly that pipeline; sub-detailed tiers are already
+        the fast path) and only when they miss both the in-memory and
+        persistent caches — persistent-cache hits are loaded into memory
+        as a side effect, so a later :meth:`profile` call is a hit.
+        """
+        if self.cpu_model != "mipsy":
+            return []
+        if self.config.fidelity.tier is not FidelityTier.DETAILED:
+            return []
+        pairs: list[tuple[SoftWatt, BenchmarkSpec]] = []
+        for name in names:
+            spec = benchmark(name) if isinstance(name, str) else name
+            cached = self._profiles.get(spec.name)
+            if cached is not None and cached.spec == spec:
+                continue
+            if self.cache is not None:
+                profile = self.cache.load_profile(
+                    self._profile_key(spec), spec=spec, config=self.config
+                )
+                if profile is not None:
+                    self._profiles[spec.name] = profile
+                    continue
+            pairs.append((self, spec))
+        return pairs
+
+    def adopt_profile(self, spec: BenchmarkSpec, profile) -> None:
+        """Store an externally computed lane profile into the caches.
+
+        The profile must be bit-identical to what :meth:`profile` would
+        compute (the batched SoA engine guarantees this); it is counted
+        as a detailed run and persisted like a locally computed one.
+        """
+        self._profiles[spec.name] = profile
+        self.profiler.detailed_runs += 1
+        if self.cache is not None:
+            self.cache.store_profile(self._profile_key(spec), profile)
+
     @staticmethod
     def prefetch_profiles(
         instances: "list[SoftWatt]",
         names=BENCHMARK_NAMES,
+        *,
+        min_runs: int | None = None,
     ) -> int:
         """Batch-profile uncached (instance, benchmark) pairs in lockstep.
 
@@ -188,13 +238,13 @@ class SoftWatt:
 
         No-op (returning 0) when the batched engine is disabled
         (``REPRO_PURE_PYTHON=1`` or no numpy) or when fewer than
-        :data:`~repro.cpu.batch.BATCH_MIN_RUNS` runs are pending — the
-        scalar path wins below the lockstep breakeven.  Returns the
-        number of profiles computed.
+        ``min_runs`` runs are pending — the scalar path wins below the
+        lockstep breakeven.  ``min_runs`` defaults to the calibrated
+        :func:`~repro.cpu.batch.batch_min_runs`.  Returns the number of
+        profiles computed.
         """
         from repro.cpu.batch import (  # noqa: PLC0415 — keep numpy lazy
-            BATCH_MIN_RUNS,
-            BatchTask,
+            batch_min_runs,
             batched_execution,
             profile_benchmarks_batched,
         )
@@ -203,45 +253,13 @@ class SoftWatt:
             return 0
         pairs: list[tuple[SoftWatt, BenchmarkSpec]] = []
         for sw in instances:
-            if sw.cpu_model != "mipsy":
-                continue
-            if sw.config.fidelity.tier is not FidelityTier.DETAILED:
-                # The SoA engine implements the detailed mipsy pipeline
-                # only; sub-detailed instances profile per-instance via
-                # their own tier (which is already the fast path).
-                continue
-            for name in names:
-                spec = benchmark(name) if isinstance(name, str) else name
-                cached = sw._profiles.get(spec.name)
-                if cached is not None and cached.spec == spec:
-                    continue
-                if sw.cache is not None:
-                    profile = sw.cache.load_profile(
-                        sw._profile_key(spec), spec=spec, config=sw.config
-                    )
-                    if profile is not None:
-                        sw._profiles[spec.name] = profile
-                        continue
-                pairs.append((sw, spec))
-        if len(pairs) < BATCH_MIN_RUNS:
+            pairs.extend(sw.pending_lanes(names))
+        if len(pairs) < (batch_min_runs() if min_runs is None else min_runs):
             return 0
-        tasks = [
-            BatchTask(
-                spec=spec,
-                config=sw.config,
-                window_instructions=sw.profiler.window_instructions,
-                startup_chunks=sw.profiler.startup_chunks,
-                steady_chunks=sw.profiler.steady_chunks,
-                seed=sw.seed,
-            )
-            for sw, spec in pairs
-        ]
+        tasks = [sw.profiler.lane_task(spec) for sw, spec in pairs]
         profiles = profile_benchmarks_batched(tasks)
         for (sw, spec), profile in zip(pairs, profiles):
-            sw._profiles[spec.name] = profile
-            sw.profiler.detailed_runs += 1
-            if sw.cache is not None:
-                sw.cache.store_profile(sw._profile_key(spec), profile)
+            sw.adopt_profile(spec, profile)
         return len(pairs)
 
     def profile_many(

@@ -40,6 +40,7 @@ callers fall back to the scalar path.
 from __future__ import annotations
 
 import dataclasses
+import json
 import os
 from typing import Sequence
 
@@ -69,10 +70,65 @@ except ImportError:  # pragma: no cover - numpy is a declared dependency
 PURE_PYTHON_ENV = "REPRO_PURE_PYTHON"
 
 BATCH_MIN_RUNS = 24
-"""Lockstep breakeven: below this many uncached runs the per-step numpy
-call overhead outweighs the batching win and callers keep the scalar
-path (measured ~1.1x at 24 lanes, 1.7x at 48, 4x at 144 on a 1-core
-host; see ``scripts/bench.py`` ``batched_suite``)."""
+"""Fallback lockstep breakeven: below this many uncached runs the
+per-step numpy call overhead outweighs the batching win and callers
+keep the scalar path (measured ~1.1x at 24 lanes, 1.7x at 48, 4x at
+144 on a 1-core host; see ``scripts/bench.py`` ``batched_suite``).
+Callers should prefer :func:`batch_min_runs`, which substitutes the
+machine's own measured breakeven when bench data is available."""
+
+BENCH_FILE_ENV = "REPRO_BENCH_FILE"
+MIN_RUNS_ENV = "REPRO_BATCH_MIN_RUNS"
+_MIN_RUNS_FLOOR = 4
+_MIN_RUNS_CEIL = 512
+_calibrated_min_runs: int | None = None
+
+
+def _bench_candidates() -> list[str]:
+    explicit = os.environ.get(BENCH_FILE_ENV)
+    if explicit:
+        return [explicit]
+    here = os.path.dirname(os.path.abspath(__file__))
+    repo_root = os.path.dirname(os.path.dirname(os.path.dirname(here)))
+    return [
+        os.path.join(os.getcwd(), "BENCH_profiling.json"),
+        os.path.join(repo_root, "BENCH_profiling.json"),
+    ]
+
+
+def batch_min_runs(*, refresh: bool = False) -> int:
+    """Serial-vs-batched breakeven lane count.
+
+    Resolution order: the ``REPRO_BATCH_MIN_RUNS`` environment variable,
+    then the ``calibrated_min_runs`` figure the ``batched_suite`` bench
+    stage fits from this machine's own measurements (two batched arms at
+    different lane counts give the fixed per-step overhead and the
+    per-lane cost; the breakeven is where the serial line crosses that
+    fit), then :data:`BATCH_MIN_RUNS`.  The choice only selects serial
+    vs lockstep execution — outputs are bit-identical either way.
+    """
+    global _calibrated_min_runs
+    env = os.environ.get(MIN_RUNS_ENV)
+    if env:
+        try:
+            return max(1, int(env))
+        except ValueError:
+            pass
+    if _calibrated_min_runs is not None and not refresh:
+        return _calibrated_min_runs
+    value = BATCH_MIN_RUNS
+    for path in _bench_candidates():
+        try:
+            with open(path) as handle:
+                stage = json.load(handle).get("batched_suite", {})
+            fitted = stage.get("calibrated_min_runs")
+            if isinstance(fitted, int) and fitted > 0:
+                value = min(max(fitted, _MIN_RUNS_FLOOR), _MIN_RUNS_CEIL)
+                break
+        except (OSError, ValueError):
+            continue
+    _calibrated_min_runs = value
+    return value
 
 _NCOUNTERS = len(COUNTER_FIELDS)
 _COL_CYC = _NCOUNTERS

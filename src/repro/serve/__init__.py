@@ -2,12 +2,15 @@
 
 ``engine`` answers estimation requests from warm simulator state under
 deadlines, a circuit breaker, and a fidelity-degradation ladder;
-``server`` is the stdlib HTTP shell adding admission control, health
-endpoints, and graceful drain; ``breaker`` is the reusable circuit
-breaker; ``client`` is the matching stdlib client.  Started via
-``repro serve`` (see DESIGN.md §13).
+``batching`` coalesces concurrent requests into lockstep SoA batches
+with single-flight deduplication; ``server`` is the stdlib HTTP shell
+adding admission control, health endpoints, and graceful drain;
+``breaker`` is the reusable circuit breaker; ``client`` is the
+matching stdlib client (keep-alive, batch endpoint, pipelining).
+Started via ``repro serve`` (see DESIGN.md §13–14).
 """
 
+from repro.serve.batching import BatchScheduler
 from repro.serve.breaker import CircuitBreaker
 from repro.serve.client import Reply, ServeClient
 from repro.serve.engine import (
@@ -24,6 +27,7 @@ from repro.serve.server import (
 
 __all__ = [
     "AdmissionGate",
+    "BatchScheduler",
     "CircuitBreaker",
     "EstimateRequest",
     "EstimationEngine",

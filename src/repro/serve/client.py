@@ -4,6 +4,19 @@ Used by the bench load generator, the CI smoke test, and anyone who
 wants typed access without hand-writing ``http.client`` calls.  One
 :class:`ServeClient` holds one keep-alive connection; replies come
 back as :class:`Reply` (status, parsed JSON payload, headers).
+
+Besides one-at-a-time keep-alive requests, the client speaks the batch
+endpoint (:meth:`ServeClient.run_batch` posts a list to
+``/estimate/batch`` and yields per-item replies) and true HTTP/1.1
+pipelining (:meth:`ServeClient.pipeline` writes several requests
+before reading any response).  ``http.client`` cannot pipeline — it
+refuses to send while a response is pending, and stacking
+``HTTPResponse`` objects on one socket over-reads through their
+buffered file wrappers — so the pipelined path writes raw request
+bytes on one socket and parses the response stream itself.  Failures
+are surfaced per request: a parse error or dropped connection yields
+an error :class:`Reply` (status 0) for the affected requests instead
+of raising away the replies that did arrive.
 """
 
 from __future__ import annotations
@@ -83,7 +96,21 @@ class ServeClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> Reply:
+    def _raw_socket(self) -> socket.socket:
+        """A fresh transport socket outside http.client's state machine
+        (the pipelined path drives the wire format itself)."""
+        if self._socket_path is not None:
+            sock = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+            sock.settimeout(self._timeout_s)
+            sock.connect(self._socket_path)
+            return sock
+        return socket.create_connection(
+            (self._host, self._port), timeout=self._timeout_s
+        )
+
+    def _request(
+        self, method: str, path: str, body: dict | list | None = None
+    ) -> Reply:
         connection = self._connect()
         payload = None if body is None else json.dumps(body).encode()
         headers = {} if payload is None else {
@@ -116,8 +143,111 @@ class ServeClient:
     def get(self, path: str) -> Reply:
         return self._request("GET", path)
 
-    def post(self, path: str, body: dict) -> Reply:
+    def post(self, path: str, body: dict | list) -> Reply:
         return self._request("POST", path, body)
+
+    # -- pipelining -----------------------------------------------------
+
+    def pipeline(self, posts: "list[tuple[str, dict | list]]") -> list[Reply]:
+        """Send several POSTs back-to-back on one fresh connection
+        before reading any response (HTTP/1.1 pipelining), then parse
+        the replies in order.  A failed read fills the affected reply
+        and every later one with a status-0 error Reply instead of
+        raising, so callers always get ``len(posts)`` results."""
+        if not posts:
+            return []
+        host = self._host if self._socket_path is None else "localhost"
+        chunks = []
+        for path, body in posts:
+            payload = json.dumps(body).encode()
+            chunks.append(
+                f"POST {path} HTTP/1.1\r\n"
+                f"Host: {host}\r\n"
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(payload)}\r\n"
+                "\r\n".encode() + payload
+            )
+        replies: list[Reply] = []
+        try:
+            sock = self._raw_socket()
+        except OSError as error:
+            return [
+                Reply(
+                    status=0,
+                    payload={"error": f"connect failed: {error}"},
+                    headers={},
+                )
+                for _ in posts
+            ]
+        try:
+            try:
+                sock.sendall(b"".join(chunks))
+            except OSError as error:
+                return [
+                    Reply(
+                        status=0,
+                        payload={"error": f"pipelined send failed: {error}"},
+                        headers={},
+                    )
+                    for _ in posts
+                ]
+            reader = sock.makefile("rb")
+            try:
+                for _ in posts:
+                    try:
+                        replies.append(self._read_pipelined_reply(reader))
+                    except (OSError, ValueError) as error:
+                        replies.append(
+                            Reply(
+                                status=0,
+                                payload={
+                                    "error": f"pipelined read failed: {error}"
+                                },
+                                headers={},
+                            )
+                        )
+                        break
+            finally:
+                reader.close()
+        finally:
+            sock.close()
+        while len(replies) < len(posts):
+            replies.append(
+                Reply(
+                    status=0,
+                    payload={"error": "no response received"},
+                    headers={},
+                )
+            )
+        return replies
+
+    @staticmethod
+    def _read_pipelined_reply(reader) -> Reply:
+        status_line = reader.readline()
+        if not status_line:
+            raise ValueError("connection closed before response")
+        parts = status_line.decode("latin-1").split(None, 2)
+        if len(parts) < 2 or not parts[0].startswith("HTTP/"):
+            raise ValueError(f"malformed status line {status_line!r}")
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        while True:
+            line = reader.readline()
+            if not line:
+                raise ValueError("connection closed inside headers")
+            if line in (b"\r\n", b"\n"):
+                break
+            name, _, value = line.decode("latin-1").partition(":")
+            headers[name.strip()] = value.strip()
+        length = int(headers.get("Content-Length", 0))
+        raw = reader.read(length) if length else b""
+        if len(raw) != length:
+            raise ValueError("connection closed inside body")
+        try:
+            decoded = json.loads(raw) if raw else {}
+        except json.JSONDecodeError:
+            decoded = {"raw": raw.decode(errors="replace")}
+        return Reply(status=status, payload=decoded, headers=headers)
 
     def healthz(self) -> Reply:
         return self.get("/healthz")
@@ -130,6 +260,15 @@ class ServeClient:
 
     def run(self, benchmark: str, **fields) -> Reply:
         return self.post("/run", {"benchmark": benchmark, **fields})
+
+    def run_batch(self, items: list) -> Reply:
+        """Post a list of estimation requests to ``/estimate/batch``;
+        the reply payload's ``items`` carry per-item statuses."""
+        return self.post("/estimate/batch", items)
+
+    def run_pipelined(self, items: list) -> list[Reply]:
+        """Fire one ``/run`` per item down a pipelined connection."""
+        return self.pipeline([("/run", item) for item in items])
 
     def sweep(self, parameter: str, values: list, **fields) -> Reply:
         return self.post(

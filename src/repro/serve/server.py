@@ -31,12 +31,16 @@ import socketserver
 import threading
 from http.server import BaseHTTPRequestHandler, HTTPServer, ThreadingHTTPServer
 
+from repro.serve.batching import BatchScheduler
 from repro.serve.engine import EstimationEngine
 
 log = logging.getLogger("repro.serve")
 
 MAX_BODY_BYTES = 1 << 20
 """Reject request bodies past 1 MiB before reading them."""
+
+MAX_BATCH_ITEMS = 256
+"""Cap on the number of items in one ``/estimate/batch`` payload."""
 
 
 class AdmissionGate:
@@ -95,7 +99,8 @@ class AdmissionGate:
 
 
 class EstimationHandler(BaseHTTPRequestHandler):
-    """Routes: GET /healthz /readyz /stats; POST /run /sweep."""
+    """Routes: GET /healthz /readyz /stats; POST /run /sweep
+    /estimate/batch."""
 
     protocol_version = "HTTP/1.1"
     server_version = "repro-serve"
@@ -167,6 +172,8 @@ class EstimationHandler(BaseHTTPRequestHandler):
             stats = server.engine.stats()
             stats["admission"] = server.gate.snapshot()
             stats["draining"] = server.draining.is_set()
+            if server.scheduler is not None:
+                stats["batching"] = server.scheduler.snapshot()
             self._send_json(200, stats)
         else:
             self._send_json(404, {"error": f"unknown path {self.path}"})
@@ -175,7 +182,7 @@ class EstimationHandler(BaseHTTPRequestHandler):
 
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         server: EstimationHTTPServer = self.server
-        if self.path not in ("/run", "/sweep"):
+        if self.path not in ("/run", "/sweep", "/estimate/batch"):
             self._discard_body()
             self._send_json(404, {"error": f"unknown path {self.path}"})
             return
@@ -205,7 +212,12 @@ class EstimationHandler(BaseHTTPRequestHandler):
                 self._send_json(400, {"error": str(error)})
                 return
             if self.path == "/run":
-                reply = server.engine.estimate(payload, index=index)
+                if server.scheduler is not None:
+                    reply = server.scheduler.submit(payload, index=index)
+                else:
+                    reply = server.engine.estimate(payload, index=index)
+            elif self.path == "/estimate/batch":
+                reply = self._estimate_batch(server, payload, index)
             else:
                 reply = server.engine.sweep(payload, index=index)
             self._send_json(reply["status"], reply)
@@ -218,6 +230,32 @@ class EstimationHandler(BaseHTTPRequestHandler):
         finally:
             server.gate.leave()
 
+    @staticmethod
+    def _estimate_batch(
+        server: "EstimationHTTPServer", payload: object, index: int
+    ) -> dict:
+        """One HTTP request carrying many estimation items; failures
+        are per-item (each entry in ``items`` has its own status)."""
+        if not isinstance(payload, list):
+            return {
+                "status": 400,
+                "error": "batch body must be a JSON array of requests",
+            }
+        if not payload:
+            return {"status": 400, "error": "batch body must not be empty"}
+        if len(payload) > MAX_BATCH_ITEMS:
+            return {
+                "status": 400,
+                "error": f"batch exceeds {MAX_BATCH_ITEMS} items",
+            }
+        if server.scheduler is not None:
+            items = server.scheduler.submit_many(payload, index=index)
+        else:
+            items = [
+                server.engine.estimate(item, index=index) for item in payload
+            ]
+        return {"status": 200, "count": len(items), "items": items}
+
 
 class EstimationHTTPServer(ThreadingHTTPServer):
     """TCP server: threaded handlers that are *joined* on close, so a
@@ -226,6 +264,8 @@ class EstimationHTTPServer(ThreadingHTTPServer):
     daemon_threads = False
     block_on_close = True
     allow_reuse_address = True
+    request_queue_size = 128  # listen backlog; admission happens per
+    # request above, so a connect burst must not be reset at the socket
 
     def __init__(
         self,
@@ -234,9 +274,11 @@ class EstimationHTTPServer(ThreadingHTTPServer):
         *,
         queue_depth: int = 4,
         retry_after_s: float = 2.0,
+        scheduler: BatchScheduler | None = None,
     ) -> None:
         super().__init__(address, EstimationHandler)
         self.engine = engine
+        self.scheduler = scheduler
         self.gate = AdmissionGate(queue_depth)
         self.retry_after_s = retry_after_s
         self.draining = threading.Event()
@@ -285,11 +327,14 @@ class EstimationHTTPServer(ThreadingHTTPServer):
                 pass  # already closing
 
     def drain_summary(self) -> dict:
-        return {
+        summary = {
             "admission": self.gate.snapshot(),
             "cache": self.engine.cache_stats(),
             "counters": self.engine.stats()["counters"],
         }
+        if self.scheduler is not None:
+            summary["batching"] = self.scheduler.snapshot()
+        return summary
 
 
 class UnixEstimationHTTPServer(EstimationHTTPServer):
@@ -311,6 +356,8 @@ def serve_forever(server: EstimationHTTPServer) -> dict:
         server.serve_forever()
     finally:
         server.server_close()  # joins in-flight handler threads
+        if server.scheduler is not None:
+            server.scheduler.close()
     summary = server.drain_summary()
     log.info("drained: %s", json.dumps(summary, sort_keys=True))
     return summary

@@ -79,7 +79,7 @@ def test_budget_order_follows_registry(results):
         assert tuple(result.power_budget()) == CATEGORIES, key
 
 
-def test_batched_prefetch_reproduces_golden_energies(golden, monkeypatch):
+def test_batched_prefetch_reproduces_golden_energies(golden):
     """End-to-end pin of the batched SoA engine: profiles prefetched in
     one lockstep pass must yield the exact golden run energies."""
     import repro.cpu.batch as batch
@@ -96,8 +96,7 @@ def test_batched_prefetch_reproduces_golden_energies(golden, monkeypatch):
         seed=golden["seed"],
         use_cache=False,
     )
-    monkeypatch.setattr(batch, "BATCH_MIN_RUNS", 2)
-    assert SoftWatt.prefetch_profiles([softwatt], names) == len(names)
+    assert SoftWatt.prefetch_profiles([softwatt], names, min_runs=2) == len(names)
     for name in names:
         result = softwatt.run(name, disk=golden["disk"])
         expected = golden["benchmarks"][f"mipsy/{name}"]
